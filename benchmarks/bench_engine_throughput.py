@@ -1,0 +1,38 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure: these keep the fast engine honest (the experiment
+sweep's cost is dominated by it) and demonstrate pytest-benchmark's
+steady-state measurement on hot loops.
+"""
+
+import pytest
+
+from repro.sim import compile_network, run
+from repro.workloads.inputs import uniform_bytes
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="module")
+def snort_compiled():
+    spec = get_app("Snort")
+    network = spec.build(64)
+    return compile_network(network), spec.make_input(network, 2048)
+
+
+def test_engine_throughput_snort(benchmark, snort_compiled):
+    compiled, data = snort_compiled
+    result = benchmark(lambda: run(compiled, data, track_enabled=False))
+    assert result.cycles == len(data)
+
+
+def test_engine_throughput_with_tracking(benchmark, snort_compiled):
+    compiled, data = snort_compiled
+    result = benchmark(lambda: run(compiled, data, track_enabled=True))
+    assert result.hot_count() > 0
+
+
+def test_compile_network_cost(benchmark):
+    spec = get_app("Brill")
+    network = spec.build(64)
+    compiled = benchmark(lambda: compile_network(network))
+    assert compiled.n_states == network.n_states

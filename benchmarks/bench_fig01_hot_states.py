@@ -1,0 +1,23 @@
+"""Fig 1: percentage of hot (ever-enabled) states across the 26 applications.
+
+Paper claim: on average 59% of configured states are cold; CAV4k is ~99%
+cold while RandomForest runs essentially fully hot.
+"""
+
+from repro.experiments import fig01_hot_states
+
+
+def test_fig01_hot_states(benchmark, config, record):
+    result = benchmark.pedantic(
+        lambda: fig01_hot_states(config), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 26
+    # The paper's headline characterization: a majority of states are cold.
+    assert 45.0 <= result.summary["avg_cold_pct"] <= 75.0
+    # CAV4k is the extreme case (99% cold in the paper).
+    cav4k = next(r for r in result.rows if r[0] == "CAV4k")
+    assert cav4k[2] < 10.0
+    # RandomForest machines run hot.
+    rf = next(r for r in result.rows if r[0] == "RF1")
+    assert rf[2] > 85.0

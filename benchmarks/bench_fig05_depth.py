@@ -1,0 +1,26 @@
+"""Fig 5: normalized-depth distribution of hot vs cold states.
+
+Paper claims: hot states concentrate in shallow layers and cold states in
+deep layers; the depth-vs-hotness correlation averages -0.82, with ER the
+exception (its hot states sit in a mid-depth SCC core).
+"""
+
+import numpy as np
+
+from repro.experiments import fig05_depth_distribution
+
+
+def test_fig05_depth_distribution(benchmark, config, record):
+    result = benchmark.pedantic(
+        lambda: fig05_depth_distribution(config), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 26
+    # Aggregate shape: hot states are shallower than cold states.
+    hot_shallow = np.mean([r[1] for r in result.rows])
+    cold_deep = np.mean([r[6] for r in result.rows])
+    cold_shallow = np.mean([r[4] for r in result.rows])
+    assert hot_shallow > 40.0
+    assert cold_deep > cold_shallow
+    # Strong negative correlation on average (paper: -0.82 excluding ER).
+    assert result.summary["avg_corr_excl_ER"] < -0.55

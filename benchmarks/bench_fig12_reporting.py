@@ -1,0 +1,29 @@
+"""Fig 12: reporting states in BaseAP mode, normalized to the baseline.
+
+Paper claims: intermediate reporting states can exceed the original count
+(ER reaches 3.6x of baseline because of its many hot->cold crossing edges),
+while applications whose hot partitions carry few original reporters (e.g.
+Snort variants) can *decrease* below 1.0.
+"""
+
+from repro.experiments import fig12_reporting_states
+
+
+def test_fig12_reporting_states(benchmark, config, record):
+    result = benchmark.pedantic(
+        lambda: fig12_reporting_states(config), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 16
+    totals_01 = {r[0]: r[1] + r[2] for r in result.rows}
+    totals_1 = {r[0]: r[3] + r[4] for r in result.rows}
+    # Some application exceeds its baseline reporting count through
+    # intermediate states (ER reaches 3.6x in the paper); in our build the
+    # inflation shows at 0.1% profiling, where ER's exit fan-out is cold.
+    assert max(max(totals_01.values()), max(totals_1.values())) > 1.2
+    assert totals_01["ER"] > 1.2
+    # And some application drops below baseline (deep reporters stay cold).
+    assert min(totals_1.values()) < 0.9
+    # Apps with no cold set add no intermediate reporters.
+    by_app = {r[0]: r for r in result.rows}
+    assert by_app["RF1"][4] == 0.0

@@ -1,0 +1,23 @@
+"""Fig 13: speedup sensitivity to AP capacity.
+
+Paper claims: at 12K STEs (all applications, including the low group, now
+exceed the chip) BaseAP/SpAP reaches 1.9x/2.2x geomean at 0.1%/1%
+profiling; at 49K STEs the high group still sees 1.9x/2.1x — the benefit
+is not an artifact of one capacity point.
+"""
+
+from repro.experiments import fig13_capacity_sensitivity
+
+
+def test_fig13_sensitivity(benchmark, config, record):
+    result = benchmark.pedantic(
+        lambda: fig13_capacity_sensitivity(config), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 26 + 11  # all apps @12K + high group @49K
+    # Both capacities keep a solid geometric-mean speedup at 1% profiling.
+    assert result.summary["geomean_12K_1%"] > 1.4
+    assert result.summary["geomean_49K_1%"] > 1.4
+    # And more profiling doesn't hurt.
+    assert result.summary["geomean_12K_1%"] >= result.summary["geomean_12K_0.1%"] - 0.05
+    assert result.summary["geomean_49K_1%"] >= result.summary["geomean_49K_0.1%"] - 0.05

@@ -1,0 +1,25 @@
+"""Table I: effectiveness of profiling-based hot/cold prediction.
+
+Paper claim (1 MB inputs): accuracy 87/90/93/97%, recall 64/76/87/97%, and
+precision 94/92/90/92% at 0.1/1/10/50% profiling inputs.  Recall must rise
+monotonically with the profiling fraction; precision stays high throughout.
+"""
+
+from repro.experiments import table1_profiling_effectiveness
+
+
+def test_table1_profiling(benchmark, config, record):
+    result = benchmark.pedantic(
+        lambda: table1_profiling_effectiveness(config), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 4  # 0.1%, 1%, 10%, 50%
+    recalls = [row[2] for row in result.rows]
+    precisions = [row[3] for row in result.rows]
+    accuracies = [row[1] for row in result.rows]
+    # Recall grows with more profiling input (the paper's key trend).
+    assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert recalls[-1] > 85.0
+    # Precision is high at every fraction (paper: >= 90%).
+    assert min(precisions) > 75.0
+    assert min(accuracies) > 70.0

@@ -1,0 +1,28 @@
+"""Table II: application statistics (paper values vs the scaled build).
+
+The build must preserve each application's size relative to AP capacity —
+state counts within a few percent of paper/scale — so that every batch
+count, and therefore every speedup ratio, carries over.
+"""
+
+from repro.experiments import table2_applications
+from repro.workloads.registry import APPS
+
+
+def test_table2_applications(benchmark, config, record):
+    result = benchmark.pedantic(
+        lambda: table2_applications(config), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 26
+    for row in result.rows:
+        abbr, _grp, paper_states, states = row[0], row[1], row[2], row[3]
+        target = paper_states / config.scale
+        largest_tolerance = max(0.12 * target, 600)
+        assert abs(states - target) <= largest_tolerance, (
+            f"{abbr}: {states} vs scaled target {target:.0f}"
+        )
+    groups = {row[0]: row[1] for row in result.rows}
+    assert groups["CAV4k"] == "H"
+    assert groups["Brill"] == "M"
+    assert groups["Bro217"] == "L"

@@ -1,0 +1,41 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures.
+The per-application pipeline cache (``repro.experiments.pipeline``) is
+shared across all benchmarks in a session, so each expensive stage runs
+once no matter how many figures consume it.
+
+Rendered outputs are printed and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import default_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture()
+def record():
+    """Print an ExperimentResult and persist it under benchmarks/results/."""
+
+    def _record(result):
+        text = result.render()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = result.name.split(":")[0].strip().lower().replace(" ", "_").replace("/", "-")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        return result
+
+    return _record

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Network intrusion detection: Snort-style rules over synthetic traffic.
+
+Shows the mechanism under realistic misprediction: token-structured
+traffic keeps mid-depth rule states warm, so profiling inevitably misses a
+few states that later become enabled.  Intermediate reporting states catch
+every such crossing and SpAP mode replays only the handful of input
+windows that matter (the JumpRatio), preserving every alert.
+"""
+
+from repro.core import (
+    prepare_partition,
+    run_base_spap,
+    run_baseline_ap,
+    verify_equivalence,
+)
+from repro.experiments import ExperimentConfig
+from repro.workloads import get_app
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=16, input_len=8192)
+    spec = get_app("Snort_L")
+    network = spec.build(config.scale)
+    print(f"rule set: {network.n_automata} rules, {network.n_states} states")
+
+    stream = spec.make_input(network, config.input_len)
+    half = len(stream) // 2
+    traffic = stream[half:]
+
+    baseline = run_baseline_ap(network, traffic, config.half_core)
+    print(f"baseline: {baseline.n_batches} configurations, "
+          f"{baseline.reports.shape[0]} alerts")
+
+    for fraction in (0.001, 0.01):
+        profile_input = stream[: max(1, int(len(stream) * fraction))]
+        partitioned, hot_bins = prepare_partition(
+            network, profile_input, config.half_core
+        )
+        outcome = run_base_spap(partitioned, traffic, config.half_core, hot_bins)
+        assert verify_equivalence(baseline, outcome), "alerts must be preserved"
+        ratio = outcome.jump_ratio()
+        print(
+            f"profile {100 * fraction:4.1f}%: "
+            f"{outcome.n_hot_batches} hot batch(es), "
+            f"{outcome.n_intermediate_reports:5d} boundary crossings, "
+            f"JumpRatio {100 * (ratio or 0):5.1f}%, "
+            f"speedup {baseline.cycles / outcome.cycles:.2f}x"
+        )
+
+    print("\nall alerts identical to the baseline in every configuration")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scale-out study: what happens when automata programs keep growing.
+
+The paper's introduction argues NFA applications will outgrow any AP:
+multi-stream execution and the Parallel AP all *duplicate* machines for
+throughput.  This example walks that trajectory on a ClamAV-style workload
+and shows the §VIII synergy: duplicating only the predicted-hot partition
+gets the throughput of parallel execution without paying for cold states.
+"""
+
+from repro.ap.parallel import run_parallel_ap
+from repro.core import (
+    partition_network,
+    choose_partition_layers,
+    prepare_partition,
+    run_base_spap,
+    run_baseline_ap,
+)
+from repro.core.profiling import profile_network
+from repro.experiments import ExperimentConfig
+from repro.nfa.analysis import analyze_network
+from repro.nfa.transforms import duplicate_network, merge_common_prefixes
+from repro.workloads import get_app
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=16, input_len=8192)
+    ap = config.half_core
+    spec = get_app("CAV")
+    network = spec.build(config.scale)
+    stream = spec.make_input(network, config.input_len)
+    profile_input, scan_input = stream[:82], stream[len(stream) // 2 :]
+
+    print(f"{spec.full_name}: {network.n_states} states on a "
+          f"{ap.capacity}-STE half-core\n")
+
+    print("growing the program (multi-stream duplication):")
+    for copies in (1, 2, 4):
+        grown = duplicate_network(network, copies)
+        baseline = run_baseline_ap(grown, scan_input, ap)
+        partitioned, bins = prepare_partition(grown, profile_input, ap)
+        spap = run_base_spap(partitioned, scan_input, ap, bins)
+        print(f"  x{copies}: {grown.n_states:6d} states | baseline "
+              f"{baseline.n_batches:2d} batches | SparseAP "
+              f"{spap.n_hot_batches} hot batch(es) -> "
+              f"{baseline.cycles / spap.cycles:.1f}x")
+
+    print("\nthroughput via the Parallel AP (4 input segments):")
+    baseline = run_baseline_ap(network, scan_input, ap)
+    pap_full = run_parallel_ap(network, scan_input, ap, 4)
+    print(f"  duplicate the FULL machine : {pap_full.n_batches} batches, "
+          f"{baseline.cycles / pap_full.cycles:.2f}x")
+
+    topology = analyze_network(network)
+    profile = profile_network(network, profile_input, topology=topology)
+    layers = choose_partition_layers(network, topology, profile.hot_mask)
+    partitioned = partition_network(network, layers, topology=topology)
+    pap_hot = run_parallel_ap(partitioned.hot, scan_input, ap, 4)
+    print(f"  duplicate only the HOT set: {pap_hot.n_batches} batch(es), "
+          f"{baseline.cycles / pap_hot.cycles:.2f}x  "
+          f"(+ SpAP recovery for mispredictions)")
+
+    merged = merge_common_prefixes(network)
+    print(f"\ncompiler-side counterpoint — common-prefix (trie) merging: "
+          f"{network.n_states} -> {merged.n_states} states")
+    print("\nTakeaway: cold-state elimination compounds with every "
+          "scale-out technique, exactly the paper's §VIII argument.")
+
+
+if __name__ == "__main__":
+    main()

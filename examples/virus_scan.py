@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Virus scanning: the paper's motivating large-scale application.
+
+Builds a ClamAV-style signature database far larger than the AP, scans a
+mostly-benign byte stream containing a few planted infections, and shows
+why hot/cold partitioning wins so big here: on benign traffic ~98% of
+signature states are never enabled, so the whole database's hot set fits
+in a single AP configuration instead of dozens of re-executions.
+"""
+
+import numpy as np
+
+from repro.core import (
+    prepare_partition,
+    run_base_spap,
+    run_baseline_ap,
+    verify_equivalence,
+)
+from repro.experiments import ExperimentConfig
+from repro.sim import compile_network, run
+from repro.workloads import get_app
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=16, input_len=8192)
+    spec = get_app("CAV4k")
+    network = spec.build(config.scale)
+    print(f"signature database: {network.n_automata} signatures, "
+          f"{network.n_states} states (AP capacity {config.half_core.capacity})")
+
+    stream = spec.make_input(network, config.input_len)
+    profile_input, scan_input = stream[:82], stream[len(stream) // 2 :]
+
+    baseline = run_baseline_ap(network, scan_input, config.half_core)
+    print(f"\nbaseline AP: {baseline.n_batches} configurations; the scan runs "
+          f"{baseline.n_batches}x over every byte")
+
+    partitioned, hot_bins = prepare_partition(network, profile_input, config.half_core)
+    print(f"profiling 82 bytes predicts {partitioned.n_cold} of "
+          f"{network.n_states} states cold "
+          f"({100 * partitioned.resource_saving():.1f}% of the database)")
+
+    outcome = run_base_spap(partitioned, scan_input, config.half_core, hot_bins)
+    assert verify_equivalence(baseline, outcome)
+    print(f"BaseAP/SpAP: {outcome.n_hot_batches} hot configuration(s) + "
+          f"{outcome.spap_cycles} SpAP cycles for "
+          f"{outcome.n_intermediate_reports} mispredictions")
+    print(f"speedup: {baseline.cycles / outcome.cycles:.1f}x  "
+          f"(paper reports up to 47x for ClamAV4k)")
+
+    # Show the detections themselves: identical under both executions.
+    from repro.sim import reports_by_code
+
+    full = run(compile_network(network), scan_input)
+    detections = reports_by_code(network, full.reports)
+    print(f"\ndetected signatures ({len(detections)}):")
+    for code, positions in sorted(detections.items())[:10]:
+        print(f"  - {code} at offset(s) {positions}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-apps`` — the 26-application registry with Table II statistics.
+* ``run-app ABBR`` — run one application through all three scenarios.
+* ``figure NAME`` — regenerate one paper figure/table (e.g. ``fig10``).
+* ``report [OUT.md]`` — regenerate the full EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import default_config
+from .experiments import figures as _figures
+from .experiments.pipeline import get_run
+from .experiments.report import generate_report
+from .experiments.tables import render_table
+from .workloads.registry import APPS, app_names
+
+_FIGURES = {
+    "fig01": _figures.fig01_hot_states,
+    "fig05": _figures.fig05_depth_distribution,
+    "fig06": _figures.fig06_ideal_model,
+    "fig08": _figures.fig08_constrained_states,
+    "fig10": _figures.fig10_speedup_and_savings,
+    "fig11": _figures.fig11_performance_per_ste,
+    "fig12": _figures.fig12_reporting_states,
+    "fig13": _figures.fig13_capacity_sensitivity,
+    "table1": _figures.table1_profiling_effectiveness,
+    "table2": _figures.table2_applications,
+    "table4": _figures.table4_runtime_statistics,
+}
+
+
+def _cmd_list_apps(_args) -> int:
+    rows = []
+    for abbr in app_names():
+        spec = APPS[abbr]
+        rows.append([
+            abbr, spec.full_name, spec.group,
+            spec.paper.states, spec.paper.nfas, spec.paper.max_topo,
+        ])
+    print(render_table(
+        ["Abbr", "Application", "Group", "States(paper)", "NFAs", "MaxTopo"], rows
+    ))
+    return 0
+
+
+def _cmd_run_app(args) -> int:
+    if args.app not in APPS:
+        print(f"unknown application {args.app!r}; try `list-apps`", file=sys.stderr)
+        return 2
+    config = default_config()
+    run = get_run(args.app, config)
+    ap = config.half_core
+    baseline = run.baseline(ap)
+    spap = run.base_spap(args.profile, ap)
+    cpu = run.ap_cpu(args.profile, ap)
+    print(f"{args.app}: {run.network.n_states} states, "
+          f"{run.network.n_automata} NFAs, AP capacity {ap.capacity}")
+    print(f"  baseline AP : {baseline.n_batches} batches, {baseline.cycles} cycles")
+    print(f"  BaseAP/SpAP : {spap.n_hot_batches} hot batches + "
+          f"{spap.spap_cycles} SpAP cycles "
+          f"({spap.n_intermediate_reports} reports, {spap.spap_stall_cycles} stalls) "
+          f"-> {baseline.cycles / spap.cycles:.2f}x")
+    print(f"  AP-CPU      : {1e6 * cpu.cpu_seconds:.1f} us handler "
+          f"-> {baseline.seconds(ap) / cpu.seconds(ap):.2f}x")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fn = _FIGURES.get(args.name)
+    if fn is None:
+        print(f"unknown figure {args.name!r}; one of {', '.join(_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    print(fn(default_config()).render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    text = generate_report(default_config())
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list-apps", help="list the 26-application registry")
+    run_parser = sub.add_parser("run-app", help="run one application end-to-end")
+    run_parser.add_argument("app")
+    run_parser.add_argument("--profile", type=float, default=0.01,
+                            help="profiling fraction (default 0.01)")
+    figure_parser = sub.add_parser("figure", help="regenerate one table/figure")
+    figure_parser.add_argument("name", help=f"one of: {', '.join(_FIGURES)}")
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    handlers = {
+        "list-apps": _cmd_list_apps,
+        "run-app": _cmd_run_app,
+        "figure": _cmd_figure,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Automata Processor architecture model: configuration, batching, placement."""
+
+from .batching import NetworkSlice, batch_network, min_batches, pack_batches, slice_network
+from .chip import Placement, STEAddress, decode_state_id, encode_address, place_network
+from .config import FULL_CHIP, HALF_CORE, QUARTER_CORE, APConfig
+from .parallel import ParallelOutcome, run_parallel_ap
+from .queue import ReportQueueUsage, queue_usage
+
+__all__ = [
+    "APConfig",
+    "HALF_CORE",
+    "FULL_CHIP",
+    "QUARTER_CORE",
+    "NetworkSlice",
+    "batch_network",
+    "min_batches",
+    "pack_batches",
+    "slice_network",
+    "Placement",
+    "STEAddress",
+    "decode_state_id",
+    "encode_address",
+    "place_network",
+    "ParallelOutcome",
+    "run_parallel_ap",
+    "ReportQueueUsage",
+    "queue_usage",
+]

@@ -1,0 +1,100 @@
+"""Batch compilation: packing whole NFAs into AP configurations.
+
+The AP reconfigures between batches and re-streams the entire input per
+batch, so the number of batches is the baseline's slowdown factor.  As in
+the current AP toolchain (paper §III-C), batches contain whole NFAs; we pack
+first-fit-decreasing, which is deterministic and near-optimal for the NFA
+size distributions in these workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..nfa.automaton import Network
+
+__all__ = ["NetworkSlice", "pack_batches", "slice_network", "batch_network", "min_batches"]
+
+
+@dataclass
+class NetworkSlice:
+    """A sub-network plus the mapping from its local global-ids back to the
+    parent network's global ids (needed to merge per-batch reports)."""
+
+    network: Network
+    global_ids: np.ndarray  # local global-id -> parent global-id
+
+    @property
+    def n_states(self) -> int:
+        return self.network.n_states
+
+    def to_parent_reports(self, reports: np.ndarray) -> np.ndarray:
+        """Rewrite batch-local report state ids into parent ids."""
+        if reports.size == 0:
+            return reports
+        out = reports.copy()
+        out[:, 1] = self.global_ids[reports[:, 1]]
+        return out
+
+
+def pack_batches(sizes: Sequence[int], capacity: int) -> List[List[int]]:
+    """Pack items (NFAs) of the given sizes into bins of ``capacity``.
+
+    First-fit-decreasing with stable tie-breaking on the original index.
+    Raises ``ValueError`` if any single item exceeds the capacity (a single
+    NFA larger than the AP cannot be configured at all; the paper assumes
+    individual NFAs fit, §III-C).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    for index, size in enumerate(sizes):
+        if size > capacity:
+            raise ValueError(
+                f"NFA {index} has {size} states, exceeding AP capacity {capacity}"
+            )
+    order = sorted(range(len(sizes)), key=lambda i: (-sizes[i], i))
+    bins: List[List[int]] = []
+    room: List[int] = []
+    for index in order:
+        size = sizes[index]
+        placed = False
+        for b, free in enumerate(room):
+            if size <= free:
+                bins[b].append(index)
+                room[b] -= size
+                placed = True
+                break
+        if not placed:
+            bins.append([index])
+            room.append(capacity - size)
+    for members in bins:
+        members.sort()
+    return bins
+
+
+def slice_network(parent: Network, automaton_indices: Sequence[int]) -> NetworkSlice:
+    """Build the sub-network containing the given automata of ``parent``."""
+    offsets = parent.offsets()
+    network = Network(name=parent.name)
+    ids: List[int] = []
+    for a_index in automaton_indices:
+        automaton = parent.automata[a_index]
+        network.add(automaton)
+        base = offsets[a_index]
+        ids.extend(range(base, base + automaton.n_states))
+    return NetworkSlice(network=network, global_ids=np.asarray(ids, dtype=np.int64))
+
+
+def batch_network(parent: Network, capacity: int) -> List[NetworkSlice]:
+    """Pack a network's NFAs into AP-sized batches."""
+    sizes = [a.n_states for a in parent.automata]
+    return [slice_network(parent, members) for members in pack_batches(sizes, capacity)]
+
+
+def min_batches(total_states: int, capacity: int) -> int:
+    """The paper's idealized batch count ceil(S / C_AP) (state granularity)."""
+    return max(1, math.ceil(total_states / capacity))

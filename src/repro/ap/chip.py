@@ -1,0 +1,106 @@
+"""Structural chip model: STE placement and the enable-decoder hierarchy.
+
+The routing matrix is hierarchical — blocks of rows of STEs — and SpAP's
+enable operation selects an STE through three decoders over the 16-bit state
+id (paper §V-B).  This module provides that address arithmetic, a placement
+validator (a batch must fit the routing matrix and transitions must stay
+within the placement unit), and occupancy/utilization accounting used by the
+performance-per-STE metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..nfa.automaton import Network
+from .config import APConfig
+
+__all__ = ["STEAddress", "decode_state_id", "encode_address", "Placement", "place_network"]
+
+
+@dataclass(frozen=True)
+class STEAddress:
+    """Hierarchical STE coordinates inside one half-core."""
+
+    block: int
+    row: int
+    ste: int
+
+    def flat(self, config: APConfig) -> int:
+        per_block = config.rows_per_block * config.stes_per_row
+        return self.block * per_block + self.row * config.stes_per_row + self.ste
+
+
+def decode_state_id(state_id: int, config: APConfig) -> STEAddress:
+    """Split a 16-bit state id the way the SpAP enable decoders do.
+
+    The low 4 bits select the STE within a row, the next 4 bits the row
+    within a block, and the high bits the block.
+    """
+    if state_id < 0:
+        raise ValueError(f"negative state id: {state_id}")
+    ste = state_id & 0xF
+    row = (state_id >> 4) & 0xF
+    block = state_id >> 8
+    if block >= config.blocks:
+        raise ValueError(
+            f"state id {state_id} selects block {block}, beyond {config.blocks} blocks"
+        )
+    return STEAddress(block=block, row=row, ste=ste)
+
+
+def encode_address(address: STEAddress, config: APConfig) -> int:
+    """Inverse of :func:`decode_state_id`."""
+    if not (0 <= address.ste < config.stes_per_row and 0 <= address.row < config.rows_per_block):
+        raise ValueError(f"address out of range: {address}")
+    if not 0 <= address.block < config.blocks:
+        raise ValueError(f"address out of range: {address}")
+    return (address.block << 8) | (address.row << 4) | address.ste
+
+
+@dataclass
+class Placement:
+    """A batch mapped onto STEs of one placement unit."""
+
+    config: APConfig
+    assignments: Dict[int, STEAddress]  # network global id -> STE address
+    n_states: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the unit's STE capacity this batch occupies."""
+        return self.n_states / float(self.config.capacity)
+
+    def address_of(self, global_id: int) -> STEAddress:
+        return self.assignments[global_id]
+
+
+def place_network(network: Network, config: APConfig) -> Placement:
+    """Assign every state of a batch network to an STE, row-major.
+
+    Automata are placed contiguously so all their transitions stay inside the
+    placement unit (the AP forbids cross-half-core transitions).  Raises
+    ``ValueError`` if the batch exceeds capacity.
+    """
+    n = network.n_states
+    if n > config.capacity:
+        raise ValueError(f"batch of {n} states exceeds capacity {config.capacity}")
+    assignments: Dict[int, STEAddress] = {}
+    per_block = config.rows_per_block * config.stes_per_row
+    for gid, _a_index, _state in network.global_states():
+        block, rem = divmod(gid, per_block)
+        row, ste = divmod(rem, config.stes_per_row)
+        assignments[gid] = STEAddress(block=block, row=row, ste=ste)
+    return Placement(config=config, assignments=assignments, n_states=n)
+
+
+def enable_decoder_widths(config: APConfig) -> List[int]:
+    """Decoder input widths used by the enable operation (block, row, STE)."""
+    def width(n: int) -> int:
+        bits = 0
+        while (1 << bits) < n:
+            bits += 1
+        return bits
+
+    return [width(config.blocks), width(config.rows_per_block), width(config.stes_per_row)]

@@ -1,0 +1,73 @@
+"""Automata Processor configuration constants.
+
+Models the D480-style half-core the paper evaluates: 96 routing-matrix
+blocks of 16 rows of 16 STEs (24,576 STEs), 1 input symbol per 7.5 ns cycle,
+and a 128-entry on-chip intermediate-report queue for SpAP mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["APConfig", "HALF_CORE", "FULL_CHIP", "QUARTER_CORE"]
+
+
+@dataclass(frozen=True)
+class APConfig:
+    """Parameters of one AP placement unit (a half-core, per the paper).
+
+    ``capacity`` is the number of STEs available to a configuration batch;
+    transitions cannot cross placement units, so batches are packed against
+    this limit.  The routing hierarchy fields drive the enable-operation
+    decoder model and the placement validator.
+    """
+
+    capacity: int = 24576
+    cycle_ns: float = 7.5
+    blocks: int = 96
+    rows_per_block: int = 16
+    stes_per_row: int = 16
+    report_queue_entries: int = 128
+    report_entry_bytes: int = 6  # 4-byte input position + 2-byte state id
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.cycle_ns <= 0:
+            raise ValueError(f"cycle_ns must be positive, got {self.cycle_ns}")
+        if self.capacity > self.routing_stes:
+            raise ValueError(
+                f"capacity {self.capacity} exceeds routing matrix size {self.routing_stes}"
+            )
+
+    @property
+    def routing_stes(self) -> int:
+        """STEs addressable by the routing hierarchy."""
+        return self.blocks * self.rows_per_block * self.stes_per_row
+
+    @property
+    def report_queue_bytes(self) -> int:
+        """On-chip storage for the intermediate report queue (§V-B)."""
+        return self.report_queue_entries * self.report_entry_bytes
+
+    def with_capacity(self, capacity: int) -> "APConfig":
+        """A copy with a different STE capacity (routing scaled to fit)."""
+        blocks = self.blocks
+        per_block = self.rows_per_block * self.stes_per_row
+        needed = (capacity + per_block - 1) // per_block
+        if needed > blocks:
+            blocks = needed
+        return replace(self, capacity=capacity, blocks=blocks)
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles * self.cycle_ns * 1e-9
+
+
+#: The paper's baseline: one AP half-core, 24K STEs.
+HALF_CORE = APConfig()
+
+#: A full AP chip (two half-cores' worth of STEs; paper's "49K" grouping cut).
+FULL_CHIP = APConfig(capacity=49152, blocks=192)
+
+#: Half of a half-core, used by the Fig 13(a) sensitivity study (12K).
+QUARTER_CORE = APConfig(capacity=12288, blocks=48)

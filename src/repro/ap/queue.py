@@ -1,0 +1,55 @@
+"""Intermediate-report queue model (paper §V-B).
+
+The list of intermediate reports lives in off-chip device memory; a
+128-entry on-chip queue holds the window being consumed during SpAP mode.
+Each entry is 6 bytes (4-byte input position + 2-byte state id).  The paper
+charges no cycles for refills (they stream ahead of consumption); this
+model provides the structural accounting — how many refills a run needs
+and how much device-memory traffic the report list causes — used by the
+chip-model tests and the runtime statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import APConfig
+
+__all__ = ["ReportQueueUsage", "queue_usage"]
+
+
+@dataclass(frozen=True)
+class ReportQueueUsage:
+    """Queue traffic for one SpAP-mode execution."""
+
+    n_reports: int
+    queue_entries: int
+    entry_bytes: int
+
+    @property
+    def refills(self) -> int:
+        """Times the on-chip queue is (re)loaded from device memory."""
+        if self.n_reports == 0:
+            return 0
+        return math.ceil(self.n_reports / self.queue_entries)
+
+    @property
+    def device_bytes(self) -> int:
+        """Total device-memory traffic for the report list."""
+        return self.n_reports * self.entry_bytes
+
+    @property
+    def on_chip_bytes(self) -> int:
+        return self.queue_entries * self.entry_bytes
+
+
+def queue_usage(n_reports: int, config: APConfig) -> ReportQueueUsage:
+    """Queue accounting for ``n_reports`` intermediate reports."""
+    if n_reports < 0:
+        raise ValueError(f"negative report count: {n_reports}")
+    return ReportQueueUsage(
+        n_reports=n_reports,
+        queue_entries=config.report_queue_entries,
+        entry_bytes=config.report_entry_bytes,
+    )

@@ -1,0 +1,113 @@
+"""Packed 64-bit bitset kernels used by the fast simulation engine.
+
+A bitset over ``n`` items is stored as a ``numpy`` array of ``uint64`` words,
+``ceil(n / 64)`` long.  Item ``i`` lives in word ``i >> 6`` at bit ``i & 63``
+(little-endian bit order within each word, matching
+``numpy.packbits(..., bitorder="little")``).
+
+These helpers are deliberately free of any NFA-specific logic so they can be
+property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+
+__all__ = [
+    "WORD_BITS",
+    "num_words",
+    "empty",
+    "from_indices",
+    "to_indices",
+    "from_bool",
+    "to_bool",
+    "set_indices",
+    "clear_indices",
+    "test_index",
+    "any_set",
+    "popcount",
+]
+
+
+def num_words(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def empty(n_bits: int) -> np.ndarray:
+    """An all-zero bitset over ``n_bits`` items."""
+    return np.zeros(num_words(n_bits), dtype=np.uint64)
+
+
+def from_indices(indices, n_bits: int) -> np.ndarray:
+    """Build a bitset with the given item indices set."""
+    words = empty(n_bits)
+    set_indices(words, np.asarray(indices, dtype=np.int64))
+    return words
+
+
+def set_indices(words: np.ndarray, indices) -> None:
+    """Set the given item indices in-place (duplicates allowed)."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return
+    np.bitwise_or.at(words, idx >> 6, np.uint64(1) << (idx & 63).astype(np.uint64))
+
+
+def clear_indices(words: np.ndarray, indices) -> None:
+    """Clear the given item indices in-place."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return
+    masks = ~(np.uint64(1) << (idx & 63).astype(np.uint64))
+    np.bitwise_and.at(words, idx >> 6, masks)
+
+
+def test_index(words: np.ndarray, index: int) -> bool:
+    """Whether item ``index`` is set."""
+    return bool((words[index >> 6] >> np.uint64(index & 63)) & np.uint64(1))
+
+
+def to_indices(words: np.ndarray) -> np.ndarray:
+    """Indices of all set items, ascending.
+
+    Optimized for sparse bitsets: only nonzero words are expanded.
+    """
+    nz = np.flatnonzero(words)
+    if nz.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # Expand only the nonzero words into bits.
+    sub = words[nz]
+    bits = np.unpackbits(sub.view(np.uint8), bitorder="little")
+    local = np.flatnonzero(bits)
+    # ``local`` indexes into the concatenated nonzero words; map back.
+    return (nz[local >> 6] << 6) + (local & 63)
+
+
+def from_bool(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into a bitset."""
+    packed = np.packbits(np.ascontiguousarray(mask, dtype=np.uint8), bitorder="little")
+    n_w = num_words(mask.size)
+    out = np.zeros(n_w * 8, dtype=np.uint8)
+    out[: packed.size] = packed
+    return out.view(np.uint64)
+
+
+def to_bool(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack a bitset into a boolean array of length ``n_bits``."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return bits[:n_bits].astype(bool)
+
+
+def any_set(words: np.ndarray) -> bool:
+    """Whether any bit is set."""
+    return bool(words.any())
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits."""
+    return int(np.unpackbits(words.view(np.uint8), bitorder="little").sum())

@@ -1,0 +1,62 @@
+"""The paper's contribution: hot/cold prediction, partitioning, SpAP execution."""
+
+from .cpu_model import DEFAULT_CPU_MODEL, CPUCostModel
+from .metrics import (
+    PredictionQuality,
+    geometric_mean,
+    performance_per_ste,
+    prediction_quality,
+    speedup,
+    throughput,
+)
+from .oracle import ConstrainedStates, constrained_states, ideal_speedup
+from .output_model import OutputModel, output_stalls
+from .partition import (
+    INTERMEDIATE_CODE,
+    PartitionedNetwork,
+    hot_size_with_intermediates,
+    partition_network,
+    plan_hot_batches,
+)
+from .profiling import ProfileResult, choose_partition_layers, profile_network, split_input
+from .scenarios import (
+    BaselineOutcome,
+    PartitionedOutcome,
+    prepare_partition,
+    run_ap_cpu,
+    run_base_spap,
+    run_baseline_ap,
+)
+from .scenarios import verify_equivalence
+
+__all__ = [
+    "CPUCostModel",
+    "DEFAULT_CPU_MODEL",
+    "PredictionQuality",
+    "geometric_mean",
+    "performance_per_ste",
+    "prediction_quality",
+    "speedup",
+    "throughput",
+    "ConstrainedStates",
+    "constrained_states",
+    "ideal_speedup",
+    "OutputModel",
+    "output_stalls",
+    "INTERMEDIATE_CODE",
+    "PartitionedNetwork",
+    "hot_size_with_intermediates",
+    "partition_network",
+    "plan_hot_batches",
+    "ProfileResult",
+    "choose_partition_layers",
+    "profile_network",
+    "split_input",
+    "BaselineOutcome",
+    "PartitionedOutcome",
+    "prepare_partition",
+    "run_ap_cpu",
+    "run_base_spap",
+    "run_baseline_ap",
+    "verify_equivalence",
+]

@@ -1,0 +1,102 @@
+"""Evaluation metrics: speedup, performance per STE, prediction quality."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "geometric_mean",
+    "speedup",
+    "throughput",
+    "performance_per_ste",
+    "PredictionQuality",
+    "prediction_quality",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's summary statistic for speedups."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Baseline over improved; > 1 means the improved scheme is faster."""
+    if improved_cycles <= 0:
+        raise ValueError(f"non-positive cycle count: {improved_cycles}")
+    return baseline_cycles / improved_cycles
+
+
+def throughput(n_symbols: int, cycles: int) -> float:
+    """Input symbols per cycle (paper §VI, Performance per STE)."""
+    if cycles <= 0:
+        raise ValueError(f"non-positive cycle count: {cycles}")
+    return n_symbols / float(cycles)
+
+
+def performance_per_ste(n_symbols: int, cycles: int, capacity: int) -> float:
+    """Throughput per STE of capacity — the paper's performance/area proxy."""
+    if capacity <= 0:
+        raise ValueError(f"non-positive capacity: {capacity}")
+    return throughput(n_symbols, cycles) / capacity
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Confusion-matrix summary of hot/cold prediction (Table I).
+
+    Hot is the positive class: a true positive is a state predicted hot
+    (enabled under the profiling input) that is also hot under the test
+    input.
+    """
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return self.true_positive + self.false_positive + self.true_negative + self.false_negative
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def recall(self) -> float:
+        positives = self.true_positive + self.false_negative
+        if positives == 0:
+            return 1.0  # no hot states to find
+        return self.true_positive / positives
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positive + self.false_positive
+        if predicted == 0:
+            return 1.0  # nothing predicted hot, nothing wrong
+        return self.true_positive / predicted
+
+
+def prediction_quality(predicted_hot: np.ndarray, actual_hot: np.ndarray) -> PredictionQuality:
+    """Compare boolean hot masks (predicted from profiling vs test-input truth)."""
+    predicted = np.asarray(predicted_hot, dtype=bool)
+    actual = np.asarray(actual_hot, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    return PredictionQuality(
+        true_positive=int(np.sum(predicted & actual)),
+        false_positive=int(np.sum(predicted & ~actual)),
+        true_negative=int(np.sum(~predicted & ~actual)),
+        false_negative=int(np.sum(~predicted & actual)),
+    )

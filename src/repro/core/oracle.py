@@ -1,0 +1,82 @@
+"""Oracle analyses: ideal speedup model and topological-constraint overhead.
+
+Covers the paper's §III-C performance model (perfect knowledge of cold
+states) and §IV-D's study of *constrained states* — cold states that the
+SCC/topological-order partitioning is forced to keep in the hot set (Fig 8):
+(1) a whole SCC joins the hot set if any member is hot, and (2) any cold
+state shallower than the partition layer stays hot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nfa.analysis import NetworkTopology
+from ..nfa.automaton import Network
+from .profiling import choose_partition_layers, layer_closure_mask
+
+__all__ = ["ideal_speedup", "ConstrainedStates", "constrained_states"]
+
+
+def ideal_speedup(total_states: int, capacity: int, cold_fraction: float) -> float:
+    """§III-C: speedup with oracular cold knowledge.
+
+    ``ceil(S/C) / ceil((1-p)S/C)`` where ``p`` is the resource saving; tends
+    to ``1/(1-p)`` for large applications.
+    """
+    if not 0.0 <= cold_fraction < 1.0:
+        raise ValueError(f"cold fraction must be in [0, 1), got {cold_fraction}")
+    if total_states <= 0 or capacity <= 0:
+        raise ValueError("states and capacity must be positive")
+    baseline = math.ceil(total_states / capacity)
+    remaining = max(1, math.ceil((1.0 - cold_fraction) * total_states / capacity))
+    return baseline / remaining
+
+
+@dataclass
+class ConstrainedStates:
+    """Fig 8 quantities for one application.
+
+    ``perfect_hot`` is the arbitrary-edge oracle (exactly the truly hot
+    states); ``topo_hot`` is the best the layer-granularity scheme can do
+    given the same oracle knowledge.  ``constrained`` states are the
+    difference — cold states the scheme is forced to configure.
+    """
+
+    n_states: int
+    perfect_hot: int
+    topo_hot: int
+
+    @property
+    def constrained(self) -> int:
+        return self.topo_hot - self.perfect_hot
+
+    @property
+    def constrained_fraction(self) -> float:
+        if self.n_states == 0:
+            return 0.0
+        return self.constrained / float(self.n_states)
+
+
+def constrained_states(
+    network: Network, topology: NetworkTopology, true_hot_mask: np.ndarray
+) -> ConstrainedStates:
+    """How many extra states the topological partition keeps hot (Fig 8).
+
+    Given ground-truth hot states, the per-NFA oracle partition layer is the
+    deepest hot state's order; the layer closure then includes every
+    shallower state (and, because SCC members share an order, whole SCCs).
+    """
+    hot = np.asarray(true_hot_mask, dtype=bool)
+    layers = choose_partition_layers(network, topology, hot)
+    closure = layer_closure_mask(network, topology, layers)
+    if np.any(hot & ~closure):
+        raise AssertionError("layer closure must contain every hot state")
+    return ConstrainedStates(
+        n_states=network.n_states,
+        perfect_hot=int(hot.sum()),
+        topo_hot=int(closure.sum()),
+    )

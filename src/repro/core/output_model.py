@@ -1,0 +1,50 @@
+"""Output-reporting overhead model (paper §VI "Overheads", ref [43]).
+
+The AP's report path can sustain only a limited number of report events per
+cycle; cycles with more reporting activations stall the input stream.  The
+paper *excludes* this overhead from its results, citing Wadden et al.
+(HPCA 2018) for mitigation — this model lets us quantify what that
+exclusion is worth on our workloads (see the output ablation benchmark)
+and how intermediate reporting states change the picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OutputModel", "output_stalls"]
+
+
+@dataclass(frozen=True)
+class OutputModel:
+    """Report-path bandwidth: ``reports_per_cycle`` events drain per cycle."""
+
+    reports_per_cycle: int = 1
+
+    def __post_init__(self):
+        if self.reports_per_cycle < 1:
+            raise ValueError("the report path must drain at least 1 event per cycle")
+
+    def stall_cycles(self, reports: np.ndarray) -> int:
+        """Extra cycles needed to drain the given ``(position, state)`` reports.
+
+        A cycle producing ``k`` reports stalls for ``ceil(k/r) - 1`` cycles
+        (the first ``r`` drain alongside input processing).
+        """
+        return output_stalls(reports, self.reports_per_cycle)
+
+
+def output_stalls(reports: np.ndarray, reports_per_cycle: int = 1) -> int:
+    """Stall cycles to drain a report stream at the given bandwidth."""
+    if reports_per_cycle < 1:
+        raise ValueError("reports_per_cycle must be >= 1")
+    arr = np.asarray(reports)
+    if arr.size == 0:
+        return 0
+    positions = arr.reshape(-1, 2)[:, 0]
+    counts = np.bincount(positions - positions.min())
+    counts = counts[counts > 0]
+    per_cycle = np.ceil(counts / reports_per_cycle).astype(np.int64)
+    return int(np.sum(per_cycle - 1))

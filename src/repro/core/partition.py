@@ -1,0 +1,277 @@
+"""Topological-order NFA partitioning with intermediate reporting states.
+
+Implements paper §IV-C/§IV-B: each NFA is cut at its partition layer
+``k_U`` — states with topological order ``<= k_U`` form the hot partition,
+the rest the cold partition.  Because the order is computed on the SCC
+condensation, no SCC is ever split and every crossing edge points hot→cold.
+
+For every cold state ``v`` that is the target of a cut edge, an
+*intermediate reporting state* ``v'`` with ``v``'s symbol-set is added to the
+hot partition, wired from every hot predecessor of ``v``.  Because ``v'``
+accepts exactly what ``v`` accepts, ``v'`` activating at input position ``c``
+means ``v`` itself would have activated at ``c`` in the unpartitioned NFA;
+the recorded intermediate report ``(c, v)`` tells SpAP mode to enable ``v``
+at position ``c``, where it re-matches ``input[c]`` and propagates to its
+cold successors exactly as the original would have.  (The paper adds one
+``v'`` per cut edge; we share one per target ``v`` — observationally
+identical, see DESIGN.md.)
+
+Also implements the §IV-B capacity-filling optimization: after packing hot
+parts into batches, each batch's slack is filled by raising member NFAs'
+partition layers round-robin, one layer at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..ap.batching import pack_batches
+from ..nfa.analysis import NetworkTopology, analyze_network
+from ..nfa.automaton import Automaton, Network, StartKind
+
+__all__ = [
+    "INTERMEDIATE_CODE",
+    "PartitionedNetwork",
+    "partition_network",
+    "hot_size_with_intermediates",
+    "plan_hot_batches",
+]
+
+#: Report code marking intermediate reporting states.
+INTERMEDIATE_CODE = "__intermediate__"
+
+
+@dataclass
+class PartitionedNetwork:
+    """A network split into hot and cold partitions.
+
+    ``hot`` contains, per parent NFA, the predicted-hot states plus
+    intermediate reporting states; ``cold`` contains the predicted-cold
+    remainders (NFAs fully hot contribute nothing to ``cold``).
+    """
+
+    parent: Network
+    topology: NetworkTopology
+    layers: np.ndarray  # per parent automaton: k_U
+    hot: Network
+    cold: Network
+    hot_to_parent: np.ndarray  # hot gid -> parent gid (-1 for intermediates)
+    hot_is_intermediate: np.ndarray  # bool per hot gid
+    translation: Dict[int, int]  # intermediate hot gid -> cold gid to enable
+    cold_to_parent: np.ndarray  # cold gid -> parent gid
+    cold_parent_automata: List[int] = field(default_factory=list)
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def n_intermediate(self) -> int:
+        return int(self.hot_is_intermediate.sum())
+
+    @property
+    def n_hot_original(self) -> int:
+        """Predicted-hot parent states configured in BaseAP mode."""
+        return self.hot.n_states - self.n_intermediate
+
+    @property
+    def n_cold(self) -> int:
+        return self.cold.n_states
+
+    def resource_saving(self) -> float:
+        """Fraction of parent states *not* configured in BaseAP mode (Fig 10b)."""
+        if self.parent.n_states == 0:
+            return 0.0
+        return self.n_cold / float(self.parent.n_states)
+
+    # -- reporting-state accounting (Fig 12) -------------------------------------
+
+    def reporting_counts(self) -> Dict[str, int]:
+        """Reporting states: baseline vs BaseAP-mode original + intermediate."""
+        baseline = self.parent.reporting_count()
+        hot_true = 0
+        for gid, _a, state in self.hot.global_states():
+            if state.reporting and not self.hot_is_intermediate[gid]:
+                hot_true += 1
+        return {
+            "baseline": baseline,
+            "hot_true": hot_true,
+            "intermediate": self.n_intermediate,
+        }
+
+    def validate(self) -> None:
+        """Structural invariants of a correct partition."""
+        if np.any((self.hot_to_parent < 0) != self.hot_is_intermediate):
+            raise AssertionError("intermediate flags disagree with parent mapping")
+        for hot_gid, cold_gid in self.translation.items():
+            if not self.hot_is_intermediate[hot_gid]:
+                raise AssertionError(f"translation from non-intermediate state {hot_gid}")
+            if not 0 <= cold_gid < self.cold.n_states:
+                raise AssertionError(f"translation to missing cold state {cold_gid}")
+        for _gid, _a, state in self.cold.global_states():
+            if state.start is not StartKind.NONE:
+                raise AssertionError("start state leaked into the cold partition")
+
+
+def _cut_edges_by_target(
+    automaton: Automaton, orders: np.ndarray, k: int
+) -> Dict[int, List[int]]:
+    """Cold target sid -> hot source sids, for edges crossing the cut."""
+    cut: Dict[int, List[int]] = {}
+    for src, dst in automaton.edges():
+        if orders[src] <= k < orders[dst]:
+            cut.setdefault(dst, []).append(src)
+    return cut
+
+
+def hot_size_with_intermediates(automaton: Automaton, orders: np.ndarray, k: int) -> int:
+    """STEs the hot partition of this NFA occupies at layer ``k``:
+    predicted-hot states plus one intermediate state per cut-edge target."""
+    n_hot = int(np.sum(orders <= k))
+    return n_hot + len(_cut_edges_by_target(automaton, orders, k))
+
+
+def partition_network(
+    parent: Network,
+    layers: Sequence[int],
+    *,
+    topology: NetworkTopology = None,
+    share_intermediates: bool = True,
+) -> PartitionedNetwork:
+    """Cut every NFA of ``parent`` at its partition layer.
+
+    ``share_intermediates=False`` reproduces the paper's literal
+    construction — one intermediate state per cut *edge* — instead of the
+    default per-*target* sharing; the two are observationally equivalent
+    for matching but the literal form configures more STEs and reports
+    duplicate events (see the dedup ablation benchmark).
+    """
+    if topology is None:
+        topology = analyze_network(parent)
+    layer_arr = np.asarray(layers, dtype=np.int64)
+    if layer_arr.shape != (parent.n_automata,):
+        raise ValueError(
+            f"need one layer per automaton ({parent.n_automata}), got shape {layer_arr.shape}"
+        )
+    if np.any(layer_arr < 1):
+        raise ValueError("partition layers must be >= 1 (starts stay hot)")
+
+    hot_net = Network(name=f"{parent.name}/hot")
+    cold_net = Network(name=f"{parent.name}/cold")
+    hot_to_parent: List[int] = []
+    hot_is_intermediate: List[bool] = []
+    translation: Dict[int, int] = {}
+    cold_to_parent: List[int] = []
+    cold_parent_automata: List[int] = []
+
+    offsets = parent.offsets()
+    for index, automaton in enumerate(parent.automata):
+        orders = topology.per_automaton[index].topo_order
+        k = int(layer_arr[index])
+        base = offsets[index]
+        hot_local = np.flatnonzero(orders <= k)
+        cold_local = np.flatnonzero(orders > k)
+
+        cold_map: Dict[int, int] = {}
+        cold_base = cold_net.n_states
+        if cold_local.size:
+            cold_a, cold_map = automaton.induced(cold_local, name=f"{automaton.name}/cold")
+            cold_net.add(cold_a)
+            cold_parent_automata.append(index)
+            for old in sorted(cold_map):
+                cold_to_parent.append(base + old)
+
+        hot_a, hot_map = automaton.induced(hot_local, name=f"{automaton.name}/hot")
+        hot_base = hot_net.n_states
+        for old in sorted(hot_map):
+            hot_to_parent.append(base + old)
+            hot_is_intermediate.append(False)
+        cut = _cut_edges_by_target(automaton, orders, k)
+        for target in sorted(cut):
+            target_state = automaton.state(target)
+            source_groups = (
+                [cut[target]] if share_intermediates else [[s] for s in cut[target]]
+            )
+            for sources in source_groups:
+                im_sid = hot_a.add_state(
+                    target_state.symbol_set,
+                    reporting=True,
+                    report_code=INTERMEDIATE_CODE,
+                    label=f"{automaton.name}:im->{target}",
+                )
+                for src in sources:
+                    hot_a.add_edge(hot_map[src], im_sid)
+                hot_to_parent.append(-1)
+                hot_is_intermediate.append(True)
+                translation[hot_base + im_sid] = cold_base + cold_map[target]
+        hot_net.add(hot_a)
+
+    result = PartitionedNetwork(
+        parent=parent,
+        topology=topology,
+        layers=layer_arr,
+        hot=hot_net,
+        cold=cold_net,
+        hot_to_parent=np.asarray(hot_to_parent, dtype=np.int64),
+        hot_is_intermediate=np.asarray(hot_is_intermediate, dtype=bool),
+        translation=translation,
+        cold_to_parent=np.asarray(cold_to_parent, dtype=np.int64),
+        cold_parent_automata=cold_parent_automata,
+    )
+    result.validate()
+    return result
+
+
+def plan_hot_batches(
+    parent: Network,
+    topology: NetworkTopology,
+    layers: Sequence[int],
+    capacity: int,
+    *,
+    fill: bool = True,
+) -> Tuple[np.ndarray, List[List[int]]]:
+    """Pack hot partitions into batches; optionally fill slack (§IV-B).
+
+    Returns ``(final_layers, bins)`` where each bin lists parent automaton
+    indices whose hot parts share one AP configuration.  Filling raises
+    member NFAs' layers round-robin, one layer at a time, while the batch
+    still fits — absorbing part of the predicted cold set so the batch uses
+    the whole chip.  Filling never changes batch membership.
+    """
+    layer_arr = np.asarray(layers, dtype=np.int64).copy()
+    sizes = [
+        hot_size_with_intermediates(
+            parent.automata[i], topology.per_automaton[i].topo_order, int(layer_arr[i])
+        )
+        for i in range(parent.n_automata)
+    ]
+    bins = pack_batches(sizes, capacity)
+    if not fill:
+        return layer_arr, bins
+
+    for members in bins:
+        used = sum(sizes[i] for i in members)
+        candidates = [
+            i for i in members if layer_arr[i] < topology.per_automaton[i].max_order
+        ]
+        while candidates:
+            progressed = False
+            for i in list(candidates):
+                orders = topology.per_automaton[i].topo_order
+                new_size = hot_size_with_intermediates(
+                    parent.automata[i], orders, int(layer_arr[i]) + 1
+                )
+                delta = new_size - sizes[i]
+                if used + delta <= capacity:
+                    layer_arr[i] += 1
+                    used += delta
+                    sizes[i] = new_size
+                    progressed = True
+                    if layer_arr[i] >= topology.per_automaton[i].max_order:
+                        candidates.remove(i)
+                else:
+                    candidates.remove(i)
+            if not progressed:
+                break
+    return layer_arr, bins

@@ -1,0 +1,42 @@
+"""Experiment harness: per-figure regeneration of the paper's evaluation."""
+
+from .config import ExperimentConfig, default_config
+from .figures import (
+    SPEEDUP_GROUPS,
+    ExperimentResult,
+    fig01_hot_states,
+    fig05_depth_distribution,
+    fig06_ideal_model,
+    fig08_constrained_states,
+    fig10_speedup_and_savings,
+    fig11_performance_per_ste,
+    fig12_reporting_states,
+    fig13_capacity_sensitivity,
+    table1_profiling_effectiveness,
+    table2_applications,
+    table4_runtime_statistics,
+)
+from .pipeline import AppRun, clear_cache, get_run
+from .tables import render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "SPEEDUP_GROUPS",
+    "ExperimentResult",
+    "fig01_hot_states",
+    "fig05_depth_distribution",
+    "fig06_ideal_model",
+    "fig08_constrained_states",
+    "fig10_speedup_and_savings",
+    "fig11_performance_per_ste",
+    "fig12_reporting_states",
+    "fig13_capacity_sensitivity",
+    "table1_profiling_effectiveness",
+    "table2_applications",
+    "table4_runtime_statistics",
+    "AppRun",
+    "clear_cache",
+    "get_run",
+    "render_table",
+]

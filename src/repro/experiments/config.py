@@ -1,0 +1,85 @@
+"""Experiment configuration: scaling, input sizes, profiling fractions.
+
+The paper's setup is 1 MB inputs on a 24K-STE half-core.  We run a linearly
+scaled model (DESIGN.md §6): dividing state counts and capacities by the
+same factor preserves every ``ceil(S/C)`` and therefore the speedup
+structure, while keeping a full 26-app sweep tractable in pure Python.
+
+Environment overrides:
+
+* ``REPRO_FULL=1`` — 64 KB inputs instead of 8 KB.
+* ``REPRO_SCALE=<n>`` — a different linear scale factor (default 16).
+* ``REPRO_INPUT=<n>`` — explicit input length in bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..ap.config import APConfig
+from ..core.cpu_model import DEFAULT_CPU_MODEL, CPUCostModel
+
+__all__ = ["ExperimentConfig", "default_config"]
+
+PAPER_HALF_CORE = 24576
+PAPER_SMALL = 12288
+PAPER_LARGE = 49152
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs for one experimental sweep."""
+
+    scale: int = 16
+    input_len: int = 8192
+    profile_fractions: Tuple[float, ...] = (0.001, 0.01)
+    table1_fractions: Tuple[float, ...] = (0.001, 0.01, 0.1, 0.5)
+    cpu_model: CPUCostModel = field(default_factory=lambda: DEFAULT_CPU_MODEL)
+
+    def __post_init__(self):
+        if self.scale < 1:
+            raise ValueError(f"scale must be >= 1, got {self.scale}")
+        if self.input_len < 64:
+            raise ValueError(f"input too short to be meaningful: {self.input_len}")
+
+    def _ap(self, paper_capacity: int) -> APConfig:
+        capacity = max(16, paper_capacity // self.scale)
+        blocks = max(1, (capacity + 255) // 256)
+        return APConfig(capacity=capacity, blocks=blocks)
+
+    @property
+    def half_core(self) -> APConfig:
+        """The paper's baseline capacity (24K), scaled."""
+        return self._ap(PAPER_HALF_CORE)
+
+    @property
+    def small_core(self) -> APConfig:
+        """Fig 13(a)'s 12K capacity, scaled."""
+        return self._ap(PAPER_SMALL)
+
+    @property
+    def large_core(self) -> APConfig:
+        """Fig 13(b)'s 49K capacity, scaled."""
+        return self._ap(PAPER_LARGE)
+
+    def ap_sizes(self):
+        """(label, config) pairs for the Fig 11 sweep."""
+        return [
+            ("12K", self.small_core),
+            ("24K", self.half_core),
+            ("49K", self.large_core),
+        ]
+
+
+def default_config() -> ExperimentConfig:
+    """Configuration from environment (quick mode unless REPRO_FULL=1)."""
+    scale = int(os.environ.get("REPRO_SCALE", "16"))
+    if "REPRO_INPUT" in os.environ:
+        input_len = int(os.environ["REPRO_INPUT"])
+    elif os.environ.get("REPRO_FULL") == "1":
+        input_len = 65536
+    else:
+        input_len = 8192
+    return ExperimentConfig(scale=scale, input_len=input_len)

@@ -1,0 +1,177 @@
+"""Cached per-application experiment pipeline.
+
+Every paper figure/table needs some subset of: the built network, its
+topology, the split input, ground-truth hot states on the test input,
+profiling runs at several fractions, partitions, and the three execution
+scenarios.  :class:`AppRun` computes each once and caches it, so a full
+multi-figure sweep touches each expensive stage exactly once per app.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ap.config import APConfig
+from ..core.partition import PartitionedNetwork, partition_network, plan_hot_batches
+from ..core.profiling import choose_partition_layers
+from ..core.scenarios import (
+    BaselineOutcome,
+    PartitionedOutcome,
+    run_ap_cpu,
+    run_base_spap,
+    run_baseline_ap,
+)
+from ..nfa.analysis import NetworkTopology, analyze_network
+from ..nfa.automaton import Network
+from ..sim.compiled import CompiledNetwork, compile_network
+from ..sim.engine import run
+from ..sim.result import SimResult
+from ..workloads.registry import AppSpec, get_app
+from .config import ExperimentConfig, default_config
+
+__all__ = ["AppRun", "get_run", "clear_cache"]
+
+
+class AppRun:
+    """Lazily-computed, cached experiment state for one application."""
+
+    def __init__(self, spec: AppSpec, config: ExperimentConfig):
+        self.spec = spec
+        self.config = config
+        self._network: Optional[Network] = None
+        self._topology: Optional[NetworkTopology] = None
+        self._compiled: Optional[CompiledNetwork] = None
+        self._entire_input: Optional[bytes] = None
+        self._truth: Optional[SimResult] = None
+        self._profiles: Dict[float, SimResult] = {}
+        self._partitions: Dict[Tuple[float, int], Tuple[PartitionedNetwork, list]] = {}
+        self._baselines: Dict[int, BaselineOutcome] = {}
+        self._spap: Dict[Tuple[float, int], PartitionedOutcome] = {}
+        self._ap_cpu: Dict[Tuple[float, int], PartitionedOutcome] = {}
+
+    # -- construction stages ------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        if self._network is None:
+            self._network = self.spec.build(self.config.scale)
+        return self._network
+
+    @property
+    def topology(self) -> NetworkTopology:
+        if self._topology is None:
+            self._topology = analyze_network(self.network)
+        return self._topology
+
+    @property
+    def compiled(self) -> CompiledNetwork:
+        if self._compiled is None:
+            self._compiled = compile_network(self.network)
+        return self._compiled
+
+    @property
+    def entire_input(self) -> bytes:
+        if self._entire_input is None:
+            self._entire_input = self.spec.make_input(self.network, self.config.input_len)
+        return self._entire_input
+
+    @property
+    def test_input(self) -> bytes:
+        """Second half of the input — except for start-of-data applications,
+        which consume the entire input (paper footnote 2)."""
+        if self.spec.start_of_data:
+            return self.entire_input
+        return self.entire_input[len(self.entire_input) // 2 :]
+
+    def profile_input(self, fraction: float) -> bytes:
+        """A prefix of the first half, ``fraction`` of the *entire* input."""
+        take = max(1, int(round(len(self.entire_input) * fraction)))
+        take = min(take, len(self.entire_input) // 2)
+        return self.entire_input[:take]
+
+    # -- simulation stages ---------------------------------------------------------
+
+    @property
+    def truth(self) -> SimResult:
+        """Ground truth on the test input (hot set, reports)."""
+        if self._truth is None:
+            self._truth = run(self.compiled, self.test_input, track_enabled=True)
+        return self._truth
+
+    def hot_fraction(self) -> float:
+        return self.truth.hot_fraction()
+
+    def profile(self, fraction: float) -> SimResult:
+        if fraction not in self._profiles:
+            self._profiles[fraction] = run(
+                self.compiled, self.profile_input(fraction), track_enabled=True
+            )
+        return self._profiles[fraction]
+
+    def partition(self, fraction: float, config: APConfig,
+                  *, fill: bool = True) -> Tuple[PartitionedNetwork, list]:
+        key = (fraction, config.capacity, fill)
+        if key not in self._partitions:
+            hot_mask = self.profile(fraction).hot_mask()
+            layers = choose_partition_layers(self.network, self.topology, hot_mask)
+            layers, bins = plan_hot_batches(
+                self.network, self.topology, layers, config.capacity, fill=fill
+            )
+            partitioned = partition_network(self.network, layers, topology=self.topology)
+            self._partitions[key] = (partitioned, bins)
+        return self._partitions[key]
+
+    def baseline(self, config: APConfig) -> BaselineOutcome:
+        if config.capacity not in self._baselines:
+            self._baselines[config.capacity] = run_baseline_ap(
+                self.network, self.test_input, config
+            )
+        return self._baselines[config.capacity]
+
+    def base_spap(self, fraction: float, config: APConfig) -> PartitionedOutcome:
+        key = (fraction, config.capacity)
+        if key not in self._spap:
+            partitioned, bins = self.partition(fraction, config)
+            self._spap[key] = run_base_spap(partitioned, self.test_input, config, bins)
+        return self._spap[key]
+
+    def ap_cpu(self, fraction: float, config: APConfig) -> PartitionedOutcome:
+        key = (fraction, config.capacity)
+        if key not in self._ap_cpu:
+            partitioned, bins = self.partition(fraction, config)
+            self._ap_cpu[key] = run_ap_cpu(
+                partitioned, self.test_input, config, bins, self.config.cpu_model
+            )
+        return self._ap_cpu[key]
+
+    # -- derived metrics -----------------------------------------------------------
+
+    def spap_speedup(self, fraction: float, config: APConfig) -> float:
+        baseline = self.baseline(config)
+        outcome = self.base_spap(fraction, config)
+        return baseline.cycles / outcome.cycles
+
+    def ap_cpu_speedup(self, fraction: float, config: APConfig) -> float:
+        baseline = self.baseline(config)
+        outcome = self.ap_cpu(fraction, config)
+        return baseline.seconds(config) / outcome.seconds(config)
+
+    def resource_saving(self, fraction: float, config: APConfig) -> float:
+        partitioned, _bins = self.partition(fraction, config)
+        return partitioned.resource_saving()
+
+
+_CACHE: Dict[Tuple[str, int, int], AppRun] = {}
+
+
+def get_run(abbr: str, config: Optional[ExperimentConfig] = None) -> AppRun:
+    """The cached :class:`AppRun` for an application under a configuration."""
+    cfg = config or default_config()
+    key = (abbr, cfg.scale, cfg.input_len)
+    if key not in _CACHE:
+        _CACHE[key] = AppRun(get_app(abbr), cfg)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,160 @@
+"""ANML interchange: read/write the subset of Micron's Automata Network
+Markup Language needed for AP workloads.
+
+Supported elements: ``automata-network``, ``state-transition-element`` (with
+``symbol-set``, ``start`` attributes), ``activate-on-match``,
+``report-on-match``.  On read, elements are grouped into automata by weakly
+connected components, so a file produced by another tool loads into the same
+``Network`` shape our pipeline expects.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List
+
+from .automaton import Automaton, Network, StartKind
+from .regex import _Parser, RegexError
+from .symbolset import SymbolSet
+
+__all__ = ["network_to_anml", "network_from_anml", "parse_symbol_set", "format_symbol_set"]
+
+_START_ATTR = {
+    StartKind.ALL_INPUT: "all-input",
+    StartKind.START_OF_DATA: "start-of-data",
+}
+_START_FROM_ATTR = {v: k for k, v in _START_ATTR.items()}
+
+
+def format_symbol_set(symbol_set: SymbolSet) -> str:
+    """Render a symbol-set in ANML's character-class syntax."""
+    return symbol_set.describe()
+
+
+def parse_symbol_set(text: str) -> SymbolSet:
+    """Parse ANML character-class syntax (``*``, ``[a-z]``, single chars)."""
+    if text == "*":
+        return SymbolSet.universal()
+    parser = _Parser(text)
+    if text.startswith("["):
+        result = parser.parse_class()
+    elif text.startswith("\\"):
+        parser.take()
+        result = parser.parse_escape()
+    elif len(text) == 1:
+        result = SymbolSet.single(parser.take())
+    else:
+        raise RegexError(f"cannot parse symbol-set: {text!r}")
+    if parser.pos != len(text):
+        raise RegexError(f"trailing characters in symbol-set: {text!r}")
+    return result
+
+
+def network_to_anml(network: Network) -> str:
+    """Serialize a network to an ANML XML string."""
+    root = ET.Element("anml", version="1.0")
+    net_el = ET.SubElement(root, "automata-network", id=network.name or "network")
+    for a_index, automaton in enumerate(network.automata):
+        for state in automaton.states():
+            attrs = {
+                "id": f"a{a_index}s{state.sid}",
+                "symbol-set": format_symbol_set(state.symbol_set),
+            }
+            if state.start is not StartKind.NONE:
+                attrs["start"] = _START_ATTR[state.start]
+            ste = ET.SubElement(net_el, "state-transition-element", attrs)
+            for dst in automaton.successors(state.sid):
+                ET.SubElement(ste, "activate-on-match", element=f"a{a_index}s{dst}")
+            if state.reporting:
+                report_attrs = {}
+                if state.report_code:
+                    report_attrs["reportcode"] = str(state.report_code)
+                if state.eod:
+                    report_attrs["eod"] = "true"
+                ET.SubElement(ste, "report-on-match", report_attrs)
+    return ET.tostring(root, encoding="unicode")
+
+
+def network_from_anml(text: str, name: str = "") -> Network:
+    """Parse an ANML XML string into a :class:`Network`.
+
+    Elements are grouped into automata by weak connectivity, preserving the
+    AP rule that a machine's transitions stay within one placement unit.
+    """
+    root = ET.fromstring(text)
+    net_el = root.find("automata-network")
+    if net_el is None:
+        if root.tag == "automata-network":
+            net_el = root
+        else:
+            raise ValueError("no <automata-network> element found")
+
+    ids: List[str] = []
+    attrs: Dict[str, dict] = {}
+    edges: List[tuple] = []
+    for ste in net_el.findall("state-transition-element"):
+        element_id = ste.get("id")
+        if element_id is None:
+            raise ValueError("state-transition-element without id")
+        if element_id in attrs:
+            raise ValueError(f"duplicate element id: {element_id}")
+        report = ste.find("report-on-match")
+        attrs[element_id] = {
+            "symbol_set": parse_symbol_set(ste.get("symbol-set", "*")),
+            "start": _START_FROM_ATTR.get(ste.get("start", ""), StartKind.NONE),
+            "reporting": report is not None,
+            "report_code": report.get("reportcode") if report is not None else None,
+            "eod": report is not None and report.get("eod") == "true",
+        }
+        ids.append(element_id)
+        for act in ste.findall("activate-on-match"):
+            target = act.get("element")
+            if target is None:
+                raise ValueError(f"activate-on-match without element in {element_id}")
+            edges.append((element_id, target))
+
+    for src, dst in edges:
+        if dst not in attrs:
+            raise ValueError(f"edge to unknown element: {src} -> {dst}")
+
+    # Union-find over weak connectivity to recover per-pattern automata.
+    parent = {element_id: element_id for element_id in ids}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for src, dst in edges:
+        root_src, root_dst = find(src), find(dst)
+        if root_src != root_dst:
+            parent[root_src] = root_dst
+
+    groups: Dict[str, List[str]] = {}
+    for element_id in ids:
+        groups.setdefault(find(element_id), []).append(element_id)
+
+    network = Network(name=name or (net_el.get("id") or ""))
+    local_of: Dict[str, tuple] = {}
+    for group_index, members in enumerate(groups.values()):
+        automaton = Automaton(f"{network.name}#{group_index}")
+        for element_id in members:
+            info = attrs[element_id]
+            sid = automaton.add_state(
+                info["symbol_set"],
+                start=info["start"],
+                reporting=info["reporting"],
+                report_code=info["report_code"],
+                eod=info["eod"],
+                label=element_id,
+            )
+            local_of[element_id] = (len(network.automata), sid)
+        network.add(automaton)
+    for src, dst in edges:
+        a_src, sid_src = local_of[src]
+        a_dst, sid_dst = local_of[dst]
+        if a_src != a_dst:
+            raise ValueError("edge crosses automata after grouping (internal error)")
+        network.automata[a_src].add_edge(sid_src, sid_dst)
+    return network

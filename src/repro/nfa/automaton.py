@@ -1,0 +1,276 @@
+"""Homogeneous NFA data model.
+
+The AP executes *homogeneous* NFAs: every incoming transition of a state
+accepts the same symbol-set, so the symbol-set lives on the state (an STE)
+rather than on edges.  An :class:`Automaton` is one connected machine (one
+pattern); a :class:`Network` is an application — a bag of automata that run in
+parallel over a shared input stream, exactly as a set of patterns configured
+together on an AP chip.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .symbolset import SymbolSet
+
+__all__ = ["StartKind", "State", "Automaton", "Network"]
+
+
+class StartKind(enum.Enum):
+    """How a state participates in the start set.
+
+    ``ALL_INPUT`` states are enabled at every input position (ANML
+    ``start-of-input=all-input``); ``START_OF_DATA`` states are enabled only
+    at position 0 (ANML ``start-of-data``), as used by Fermi and SPM in the
+    paper.
+    """
+
+    NONE = "none"
+    ALL_INPUT = "all-input"
+    START_OF_DATA = "start-of-data"
+
+
+@dataclass
+class State:
+    """One homogeneous NFA state (maps 1:1 onto an STE column).
+
+    ``eod`` restricts reporting to the final input position (ANML's
+    end-of-data reporting; the compilation target of a ``$`` anchor).
+    """
+
+    sid: int
+    symbol_set: SymbolSet
+    start: StartKind = StartKind.NONE
+    reporting: bool = False
+    report_code: Optional[str] = None
+    eod: bool = False
+    label: str = ""
+
+    @property
+    def is_start(self) -> bool:
+        return self.start is not StartKind.NONE
+
+
+class Automaton:
+    """A single homogeneous NFA (one pattern).
+
+    States are indexed densely from 0.  Edges are directed ``u -> v`` meaning
+    "when ``u`` is activated, ``v`` is enabled for the next cycle".
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._states: List[State] = []
+        self._succ: List[List[int]] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_state(
+        self,
+        symbol_set: SymbolSet,
+        *,
+        start: StartKind = StartKind.NONE,
+        reporting: bool = False,
+        report_code: Optional[str] = None,
+        eod: bool = False,
+        label: str = "",
+    ) -> int:
+        """Add a state and return its id."""
+        sid = len(self._states)
+        self._states.append(
+            State(
+                sid=sid,
+                symbol_set=symbol_set,
+                start=start,
+                reporting=reporting,
+                report_code=report_code,
+                eod=eod,
+                label=label or f"{self.name}:{sid}" if self.name else str(sid),
+            )
+        )
+        self._succ.append([])
+        return sid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add transition ``src -> dst`` (idempotent)."""
+        self._check_sid(src)
+        self._check_sid(dst)
+        if dst not in self._succ[src]:
+            self._succ[src].append(dst)
+
+    def _check_sid(self, sid: int) -> None:
+        if not 0 <= sid < len(self._states):
+            raise IndexError(f"no state {sid} in automaton {self.name!r}")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self._succ)
+
+    def state(self, sid: int) -> State:
+        self._check_sid(sid)
+        return self._states[sid]
+
+    def states(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def successors(self, sid: int) -> Sequence[int]:
+        self._check_sid(sid)
+        return tuple(self._succ[sid])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for src, dsts in enumerate(self._succ):
+            for dst in dsts:
+                yield src, dst
+
+    def predecessors_map(self) -> List[List[int]]:
+        """Predecessor adjacency, computed on demand."""
+        preds: List[List[int]] = [[] for _ in range(self.n_states)]
+        for src, dst in self.edges():
+            preds[dst].append(src)
+        return preds
+
+    def start_states(self) -> List[int]:
+        return [s.sid for s in self._states if s.is_start]
+
+    def reporting_states(self) -> List[int]:
+        return [s.sid for s in self._states if s.reporting]
+
+    # -- transforms --------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Automaton":
+        out = Automaton(self.name if name is None else name)
+        for s in self._states:
+            out.add_state(
+                s.symbol_set,
+                start=s.start,
+                reporting=s.reporting,
+                report_code=s.report_code,
+                eod=s.eod,
+                label=s.label,
+            )
+        for src, dst in self.edges():
+            out.add_edge(src, dst)
+        return out
+
+    def induced(self, keep: Iterable[int], name: Optional[str] = None) -> Tuple["Automaton", Dict[int, int]]:
+        """The sub-automaton induced by ``keep`` state ids.
+
+        Returns the new automaton and the old-id -> new-id mapping.  Edges to
+        or from dropped states are removed; the caller is responsible for any
+        stitching (e.g. intermediate reporting states).
+        """
+        keep_sorted = sorted(set(keep))
+        mapping: Dict[int, int] = {}
+        out = Automaton(self.name if name is None else name)
+        for old in keep_sorted:
+            s = self.state(old)
+            mapping[old] = out.add_state(
+                s.symbol_set,
+                start=s.start,
+                reporting=s.reporting,
+                report_code=s.report_code,
+                eod=s.eod,
+                label=s.label,
+            )
+        for src, dst in self.edges():
+            if src in mapping and dst in mapping:
+                out.add_edge(mapping[src], mapping[dst])
+        return out, mapping
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        if self.n_states == 0:
+            raise ValueError(f"automaton {self.name!r} has no states")
+        for src, dsts in enumerate(self._succ):
+            for dst in dsts:
+                if not 0 <= dst < self.n_states:
+                    raise ValueError(f"dangling edge {src}->{dst} in {self.name!r}")
+        if not self.start_states():
+            raise ValueError(f"automaton {self.name!r} has no start state")
+
+    def __repr__(self) -> str:
+        return f"Automaton({self.name!r}, states={self.n_states}, edges={self.n_edges})"
+
+
+@dataclass
+class Network:
+    """An application: many automata executing in parallel on one input.
+
+    Global state ids are assigned contiguously per automaton in order, which
+    is the id space used by the simulation engines, the partitioner, and the
+    intermediate-report translation table.
+    """
+
+    name: str = ""
+    automata: List[Automaton] = field(default_factory=list)
+
+    def add(self, automaton: Automaton) -> None:
+        self.automata.append(automaton)
+
+    @property
+    def n_automata(self) -> int:
+        return len(self.automata)
+
+    @property
+    def n_states(self) -> int:
+        return sum(a.n_states for a in self.automata)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(a.n_edges for a in self.automata)
+
+    def offsets(self) -> List[int]:
+        """Global-id offset of each automaton (prefix sums of sizes)."""
+        out = []
+        total = 0
+        for a in self.automata:
+            out.append(total)
+            total += a.n_states
+        return out
+
+    def global_id(self, automaton_index: int, sid: int) -> int:
+        return self.offsets()[automaton_index] + sid
+
+    def locate(self, global_id: int) -> Tuple[int, int]:
+        """Map a global state id back to ``(automaton_index, sid)``."""
+        if global_id < 0:
+            raise IndexError(global_id)
+        remaining = global_id
+        for index, a in enumerate(self.automata):
+            if remaining < a.n_states:
+                return index, remaining
+            remaining -= a.n_states
+        raise IndexError(f"no global state {global_id} in network {self.name!r}")
+
+    def global_states(self) -> Iterator[Tuple[int, int, State]]:
+        """Yield ``(global_id, automaton_index, state)`` for every state."""
+        gid = 0
+        for index, a in enumerate(self.automata):
+            for s in a.states():
+                yield gid, index, s
+                gid += 1
+
+    def reporting_count(self) -> int:
+        return sum(len(a.reporting_states()) for a in self.automata)
+
+    def start_count(self) -> int:
+        return sum(len(a.start_states()) for a in self.automata)
+
+    def validate(self) -> None:
+        for a in self.automata:
+            a.validate()
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.name!r}, automata={self.n_automata}, "
+            f"states={self.n_states}, edges={self.n_edges})"
+        )

@@ -1,0 +1,104 @@
+"""Programmatic NFA construction helpers.
+
+These builders cover the structural motifs that recur across the workload
+generators and the tests: literal chains, chains with self-loop heads
+(unanchored search), grids, and star states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .automaton import Automaton, StartKind
+from .symbolset import SymbolSet
+
+__all__ = [
+    "literal_chain",
+    "symbolset_chain",
+    "add_chain",
+    "self_loop_prefix",
+]
+
+
+def _as_symbol_sets(pattern) -> list:
+    """Normalize a pattern given as bytes/str/iterable-of-SymbolSet."""
+    if isinstance(pattern, (bytes, bytearray)):
+        return [SymbolSet.single(b) for b in pattern]
+    if isinstance(pattern, str):
+        return [SymbolSet.single(c) for c in pattern]
+    sets = list(pattern)
+    for item in sets:
+        if not isinstance(item, SymbolSet):
+            raise TypeError(f"expected SymbolSet items, got {type(item).__name__}")
+    return sets
+
+
+def literal_chain(
+    pattern,
+    *,
+    name: str = "",
+    start: StartKind = StartKind.ALL_INPUT,
+    report_code: Optional[str] = None,
+) -> Automaton:
+    """An automaton matching a literal pattern anywhere in the input.
+
+    The first state is a start state (enabled every cycle by default, so the
+    pattern is unanchored); the last state reports.
+    """
+    return symbolset_chain(
+        _as_symbol_sets(pattern), name=name, start=start, report_code=report_code
+    )
+
+
+def symbolset_chain(
+    symbol_sets: Sequence[SymbolSet],
+    *,
+    name: str = "",
+    start: StartKind = StartKind.ALL_INPUT,
+    report_code: Optional[str] = None,
+) -> Automaton:
+    """A chain of symbol-sets; the final state reports."""
+    sets = list(symbol_sets)
+    if not sets:
+        raise ValueError("cannot build a chain from an empty pattern")
+    a = Automaton(name)
+    prev = a.add_state(sets[0], start=start)
+    for symbol_set in sets[1:]:
+        nxt = a.add_state(symbol_set)
+        a.add_edge(prev, nxt)
+        prev = nxt
+    last = a.state(prev)
+    last.reporting = True
+    last.report_code = report_code if report_code is not None else name or "match"
+    return a
+
+
+def add_chain(
+    automaton: Automaton,
+    from_state: int,
+    symbol_sets: Iterable[SymbolSet],
+    *,
+    reporting_tail: bool = False,
+    report_code: Optional[str] = None,
+) -> int:
+    """Append a chain of new states after ``from_state``; return the tail id."""
+    prev = from_state
+    tail = from_state
+    for symbol_set in symbol_sets:
+        tail = automaton.add_state(symbol_set)
+        automaton.add_edge(prev, tail)
+        prev = tail
+    if reporting_tail and tail != from_state:
+        s = automaton.state(tail)
+        s.reporting = True
+        s.report_code = report_code if report_code is not None else automaton.name
+    return tail
+
+
+def self_loop_prefix(automaton: Automaton, state: int) -> None:
+    """Give ``state`` a universal self-loop (classic ``.*`` search head).
+
+    Note this creates a singleton SCC with a self edge; the analysis pass
+    treats it as a cycle, as the paper's SCC preprocessing does.
+    """
+    automaton.add_edge(state, state)

@@ -1,0 +1,173 @@
+"""Subset-construction determinization of homogeneous NFA networks.
+
+CPU regex engines of the paper's era (its DFA-acceleration related work,
+§VIII) execute DFAs: one table lookup per symbol, at the cost of potential
+state blowup.  This module builds that substrate: a DFA equivalent to a
+whole network, with alphabet compression (symbols that no state
+distinguishes share a column) and a state cap that surfaces blowup instead
+of hanging.
+
+Semantics match the network exactly: a DFA state is the set of enabled NFA
+states; all-input start states are re-enabled on every transition, and a
+transition that activates reporting NFA states emits those reports at the
+consumed position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from ..sim.result import reports_to_array
+from .automaton import Network, StartKind
+from .symbolset import ALPHABET_SIZE
+
+__all__ = ["DFA", "DeterminizeError", "determinize"]
+
+
+class DeterminizeError(RuntimeError):
+    """Raised when subset construction exceeds the state cap."""
+
+
+@dataclass
+class DFA:
+    """A table-driven DFA over compressed symbol classes.
+
+    ``transitions[s, c]`` is the next DFA state for symbol class ``c``;
+    ``reports[s][c]`` lists the network's reporting state ids activated by
+    that transition (empty tuple if silent); ``reports_mid`` is the same
+    with end-of-data reporters removed (used at every position except the
+    last).
+    """
+
+    n_states: int
+    initial: int
+    class_of_symbol: np.ndarray  # (256,) symbol -> class index
+    transitions: np.ndarray  # (n_states, n_classes)
+    reports: List[List[Tuple[int, ...]]]
+    reports_mid: List[List[Tuple[int, ...]]]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.transitions.shape[1])
+
+    def run(self, input_data) -> np.ndarray:
+        """Consume the input; return ``(position, nfa_state)`` reports."""
+        if isinstance(input_data, str):
+            input_data = input_data.encode("latin-1")
+        symbols = np.frombuffer(bytes(input_data), dtype=np.uint8)
+        classes = self.class_of_symbol[symbols]
+        out: List[Tuple[int, int]] = []
+        state = self.initial
+        transitions = self.transitions
+        last = int(classes.size) - 1
+        for position in range(classes.size):
+            cls = int(classes[position])
+            table = self.reports if position == last else self.reports_mid
+            for gid in table[state][cls]:
+                out.append((position, gid))
+            state = int(transitions[state, cls])
+        return reports_to_array(out)
+
+
+def _alphabet_classes(network: Network) -> Tuple[np.ndarray, int]:
+    """Group symbols that every state in the network treats identically."""
+    masks: Dict[Tuple, int] = {}
+    class_of = np.zeros(ALPHABET_SIZE, dtype=np.int64)
+    distinct_sets = {state.symbol_set.mask for _g, _a, state in network.global_states()}
+    ordered = sorted(distinct_sets)
+    for symbol in range(ALPHABET_SIZE):
+        signature = tuple((mask >> symbol) & 1 for mask in ordered)
+        if signature not in masks:
+            masks[signature] = len(masks)
+        class_of[symbol] = masks[signature]
+    return class_of, len(masks)
+
+
+def determinize(network: Network, *, max_states: int = 65536) -> DFA:
+    """Subset construction over the whole network.
+
+    Raises :class:`DeterminizeError` when more than ``max_states`` subset
+    states are generated (the classic DFA blowup the AP avoids natively).
+    """
+    class_of, n_classes = _alphabet_classes(network)
+    # Pick one representative symbol per class.
+    representative = np.zeros(n_classes, dtype=np.int64)
+    for symbol in range(ALPHABET_SIZE - 1, -1, -1):
+        representative[class_of[symbol]] = symbol
+
+    # Flatten network tables.
+    symbol_sets: List = []
+    successors: List[List[int]] = []
+    reporting: List[bool] = []
+    eod: List[bool] = []
+    always: List[int] = []
+    initial_set: List[int] = []
+    offsets = network.offsets()
+    for a_index, automaton in enumerate(network.automata):
+        base = offsets[a_index]
+        for state in automaton.states():
+            symbol_sets.append(state.symbol_set)
+            successors.append([base + d for d in automaton.successors(state.sid)])
+            reporting.append(state.reporting)
+            eod.append(state.eod)
+            if state.start is StartKind.ALL_INPUT:
+                always.append(base + state.sid)
+                initial_set.append(base + state.sid)
+            elif state.start is StartKind.START_OF_DATA:
+                initial_set.append(base + state.sid)
+
+    always_frozen = frozenset(always)
+    initial: FrozenSet[int] = frozenset(initial_set)
+
+    index_of: Dict[FrozenSet[int], int] = {initial: 0}
+    worklist: List[FrozenSet[int]] = [initial]
+    transition_rows: List[List[int]] = []
+    report_rows: List[List[Tuple[int, ...]]] = []
+    report_mid_rows: List[List[Tuple[int, ...]]] = []
+
+    while worklist:
+        current = worklist.pop()
+        row = [0] * n_classes
+        reps_row: List[Tuple[int, ...]] = [()] * n_classes
+        reps_mid_row: List[Tuple[int, ...]] = [()] * n_classes
+        for cls in range(n_classes):
+            symbol = int(representative[cls])
+            activated = [gid for gid in current if symbol_sets[gid].matches(symbol)]
+            fired = tuple(sorted(gid for gid in activated if reporting[gid]))
+            nxt = set(always_frozen)
+            for gid in activated:
+                nxt.update(successors[gid])
+            target = frozenset(nxt)
+            if target not in index_of:
+                if len(index_of) >= max_states:
+                    raise DeterminizeError(
+                        f"subset construction exceeded {max_states} states"
+                    )
+                index_of[target] = len(index_of)
+                worklist.append(target)
+            row[cls] = index_of[target]
+            reps_row[cls] = fired
+            reps_mid_row[cls] = tuple(gid for gid in fired if not eod[gid])
+        while len(transition_rows) <= index_of[current]:
+            transition_rows.append([])
+            report_rows.append([])
+            report_mid_rows.append([])
+        transition_rows[index_of[current]] = row
+        report_rows[index_of[current]] = reps_row
+        report_mid_rows[index_of[current]] = reps_mid_row
+
+    n_states = len(index_of)
+    transitions = np.zeros((n_states, n_classes), dtype=np.int64)
+    for state_index, row in enumerate(transition_rows):
+        transitions[state_index, :] = row
+    return DFA(
+        n_states=n_states,
+        initial=0,
+        class_of_symbol=class_of,
+        transitions=transitions,
+        reports=report_rows,
+        reports_mid=report_mid_rows,
+    )

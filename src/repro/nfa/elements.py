@@ -1,0 +1,140 @@
+"""Special ANML elements: counters and boolean gates.
+
+Real AP chips (and ANML/VASim) provide two non-STE element types that the
+pure-NFA pipeline in this library does not need but a faithful AP toolchain
+must support:
+
+* **Counters** (ANML ``counter``): count activations on a count input; when
+  the count reaches the target the counter asserts its output (``latch``:
+  stays asserted until reset; ``pulse``: asserts for one cycle; ``roll``:
+  pulses and restarts).  A reset input clears the count (reset wins over a
+  simultaneous count, per the D480 design notes).
+* **Boolean gates** (``and``/``or``/``nor``/``not``): combinational logic
+  over activation signals.
+
+An :class:`ElementNetwork` wraps a plain :class:`~repro.nfa.automaton.Network`
+with a DAG of such elements: element inputs are STE activations or other
+element outputs; element outputs can report and can enable STEs for the next
+cycle (exactly like an STE's activate-on-match fan-out).  The hybrid
+simulator lives in :mod:`repro.sim.hybrid`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .automaton import Network
+
+__all__ = ["CounterMode", "GateKind", "Counter", "Gate", "ElementNetwork"]
+
+
+class CounterMode(enum.Enum):
+    """What a counter does upon reaching its target (ANML at-target modes)."""
+
+    LATCH = "latch"
+    PULSE = "pulse"
+    ROLL = "roll"
+
+
+class GateKind(enum.Enum):
+    """Boolean element families available on the AP fabric."""
+
+    AND = "and"
+    OR = "or"
+    NOR = "nor"
+    NOT = "not"
+
+
+#: An element input source: ("ste", global_state_id) or ("element", element_id).
+Signal = Tuple[str, int]
+
+
+def _check_signal(signal: Signal) -> None:
+    kind, index = signal
+    if kind not in ("ste", "element") or index < 0:
+        raise ValueError(f"bad signal: {signal!r}")
+
+
+@dataclass
+class Counter:
+    """A threshold counter element."""
+
+    target: int
+    mode: CounterMode = CounterMode.LATCH
+    count_inputs: List[Signal] = field(default_factory=list)
+    reset_inputs: List[Signal] = field(default_factory=list)
+    reporting: bool = False
+    report_code: Optional[str] = None
+
+    def __post_init__(self):
+        if self.target < 1:
+            raise ValueError(f"counter target must be >= 1, got {self.target}")
+        for signal in self.count_inputs + self.reset_inputs:
+            _check_signal(signal)
+
+
+@dataclass
+class Gate:
+    """A combinational boolean element."""
+
+    kind: GateKind
+    inputs: List[Signal] = field(default_factory=list)
+    reporting: bool = False
+    report_code: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.inputs:
+            raise ValueError("gate needs at least one input")
+        if self.kind is GateKind.NOT and len(self.inputs) != 1:
+            raise ValueError("NOT gate takes exactly one input")
+        for signal in self.inputs:
+            _check_signal(signal)
+
+
+@dataclass
+class ElementNetwork:
+    """A plain STE network plus a DAG of counters/gates.
+
+    ``enables[element_id]`` lists STE global ids enabled (for the next
+    cycle) when that element's output is asserted.  Element ids index into
+    ``elements``; an element's inputs may reference only lower element ids
+    (a topological order the constructor enforces), so evaluation is a
+    single forward pass per cycle.
+    """
+
+    network: Network
+    elements: List[object] = field(default_factory=list)
+    enables: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add_counter(self, counter: Counter) -> int:
+        return self._add(counter, counter.count_inputs + counter.reset_inputs)
+
+    def add_gate(self, gate: Gate) -> int:
+        return self._add(gate, gate.inputs)
+
+    def _add(self, element, signals: List[Signal]) -> int:
+        element_id = len(self.elements)
+        n_states = self.network.n_states
+        for kind, index in signals:
+            if kind == "ste" and index >= n_states:
+                raise ValueError(f"signal references missing STE {index}")
+            if kind == "element" and index >= element_id:
+                raise ValueError(
+                    f"element inputs must reference earlier elements, got {index}"
+                )
+        self.elements.append(element)
+        return element_id
+
+    def connect_enable(self, element_id: int, ste_global_id: int) -> None:
+        """Assertion of ``element_id`` enables the given STE next cycle."""
+        if not 0 <= element_id < len(self.elements):
+            raise IndexError(f"no element {element_id}")
+        if not 0 <= ste_global_id < self.network.n_states:
+            raise IndexError(f"no STE {ste_global_id}")
+        self.enables.setdefault(element_id, []).append(ste_global_id)
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements)

@@ -1,0 +1,142 @@
+"""MNRL interchange: the MNCaRT ecosystem's JSON automata format.
+
+MNRL (paper ref [36], Angstadt et al., CAL 2018) is the JSON counterpart to
+ANML used across the open automata-processing toolchain (VASim, ANMLZoo
+tooling).  We support the ``hState`` node type — homogeneous states with a
+symbol set, ``enable`` semantics, and ``reportId`` — which covers every
+machine this library builds.
+
+Schema subset::
+
+    {"id": "net", "nodes": [
+        {"id": "a0s0", "type": "hState",
+         "attributes": {"symbolSet": "[ab]", "reportId": "r0"},
+         "enable": "onStartAndActivateIn",   # or onActivateIn / onAll
+         "report": true,
+         "activate": [{"id": "a0s1"}]}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .anml import format_symbol_set, parse_symbol_set
+from .automaton import Automaton, Network, StartKind
+
+__all__ = ["network_to_mnrl", "network_from_mnrl"]
+
+_ENABLE_OF_START = {
+    StartKind.NONE: "onActivateIn",
+    StartKind.ALL_INPUT: "onAll",
+    StartKind.START_OF_DATA: "onStartAndActivateIn",
+}
+_START_OF_ENABLE = {v: k for k, v in _ENABLE_OF_START.items()}
+
+
+def network_to_mnrl(network: Network) -> str:
+    """Serialize a network to an MNRL JSON string."""
+    nodes: List[dict] = []
+    for a_index, automaton in enumerate(network.automata):
+        for state in automaton.states():
+            node = {
+                "id": f"a{a_index}s{state.sid}",
+                "type": "hState",
+                "enable": _ENABLE_OF_START[state.start],
+                "report": bool(state.reporting),
+                "attributes": {"symbolSet": format_symbol_set(state.symbol_set)},
+                "activate": [
+                    {"id": f"a{a_index}s{dst}"} for dst in automaton.successors(state.sid)
+                ],
+            }
+            if state.reporting and state.report_code is not None:
+                node["attributes"]["reportId"] = str(state.report_code)
+            if state.eod:
+                node["reportEnable"] = "onLast"
+            nodes.append(node)
+    return json.dumps({"id": network.name or "network", "nodes": nodes}, indent=1)
+
+
+def network_from_mnrl(text: str, name: str = "") -> Network:
+    """Parse an MNRL JSON string; groups nodes into automata by connectivity."""
+    document = json.loads(text)
+    nodes = document.get("nodes")
+    if nodes is None:
+        raise ValueError("MNRL document has no 'nodes' array")
+
+    ids: List[str] = []
+    attrs: Dict[str, dict] = {}
+    edges: List[tuple] = []
+    for node in nodes:
+        node_id = node.get("id")
+        if node_id is None:
+            raise ValueError("MNRL node without id")
+        if node_id in attrs:
+            raise ValueError(f"duplicate MNRL node id: {node_id}")
+        node_type = node.get("type", "hState")
+        if node_type != "hState":
+            raise ValueError(f"unsupported MNRL node type: {node_type}")
+        enable = node.get("enable", "onActivateIn")
+        if enable not in _START_OF_ENABLE:
+            raise ValueError(f"unsupported enable kind: {enable}")
+        attributes = node.get("attributes", {})
+        attrs[node_id] = {
+            "symbol_set": parse_symbol_set(attributes.get("symbolSet", "*")),
+            "start": _START_OF_ENABLE[enable],
+            "reporting": bool(node.get("report", False)),
+            "report_code": attributes.get("reportId"),
+            "eod": node.get("reportEnable") == "onLast",
+        }
+        ids.append(node_id)
+        for target in node.get("activate", []):
+            target_id = target.get("id")
+            if target_id is None:
+                raise ValueError(f"activate entry without id in {node_id}")
+            edges.append((node_id, target_id))
+
+    for src, dst in edges:
+        if dst not in attrs:
+            raise ValueError(f"edge to unknown MNRL node: {src} -> {dst}")
+
+    # Weak-connectivity grouping, as for ANML.
+    parent = {node_id: node_id for node_id in ids}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for src, dst in edges:
+        root_src, root_dst = find(src), find(dst)
+        if root_src != root_dst:
+            parent[root_src] = root_dst
+
+    groups: Dict[str, List[str]] = {}
+    for node_id in ids:
+        groups.setdefault(find(node_id), []).append(node_id)
+
+    network = Network(name=name or str(document.get("id", "")))
+    local_of: Dict[str, tuple] = {}
+    for group_index, members in enumerate(groups.values()):
+        automaton = Automaton(f"{network.name}#{group_index}")
+        for node_id in members:
+            info = attrs[node_id]
+            sid = automaton.add_state(
+                info["symbol_set"],
+                start=info["start"],
+                reporting=info["reporting"],
+                report_code=info["report_code"],
+                eod=info["eod"],
+                label=node_id,
+            )
+            local_of[node_id] = (len(network.automata), sid)
+        network.add(automaton)
+    for src, dst in edges:
+        a_src, sid_src = local_of[src]
+        a_dst, sid_dst = local_of[dst]
+        if a_src != a_dst:
+            raise ValueError("edge crosses automata after grouping (internal error)")
+        network.automata[a_src].add_edge(sid_src, sid_dst)
+    return network

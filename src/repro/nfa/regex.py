@@ -1,0 +1,397 @@
+"""Regex front end: a recursive-descent parser and Glushkov construction.
+
+The Glushkov construction produces exactly the homogeneous (position) automata
+the AP runs: one state per character position, symbol-set on the state, no
+epsilon transitions.  This is the same compilation route Micron's ANML tools
+and VASim use for regex rules.
+
+Supported syntax (the subset exercised by Snort/ClamAV/Becchi-style rule
+sets): literals, escapes (``\\n \\t \\r \\0 \\xHH`` and escaped
+metacharacters), classes ``[...]`` with ranges and negation, ``\\d \\w \\s``
+and their negations, ``.``, alternation ``|``, groups ``(...)``, and the
+quantifiers ``* + ? {m} {m,} {m,n}``.
+
+Patterns are unanchored by default: every Glushkov first-position becomes an
+all-input start state, which matches the pattern at any offset, mirroring how
+pattern-matching rules are deployed on the AP.  ``anchored=True`` uses
+start-of-data starts instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from .automaton import Automaton, StartKind
+from .symbolset import SymbolSet
+
+__all__ = ["RegexError", "parse", "compile_regex"]
+
+_MAX_COUNT = 4096
+
+_DIGIT = SymbolSet.from_ranges(("0", "9"))
+_WORD = SymbolSet.from_ranges(("a", "z"), ("A", "Z"), ("0", "9")) | SymbolSet.single("_")
+_SPACE = SymbolSet.from_symbols(" \t\n\r\x0b\x0c")
+
+_ESCAPES = {
+    "n": SymbolSet.single("\n"),
+    "t": SymbolSet.single("\t"),
+    "r": SymbolSet.single("\r"),
+    "f": SymbolSet.single("\x0c"),
+    "v": SymbolSet.single("\x0b"),
+    "0": SymbolSet.single(0),
+    "d": _DIGIT,
+    "D": _DIGIT.complement(),
+    "w": _WORD,
+    "W": _WORD.complement(),
+    "s": _SPACE,
+    "S": _SPACE.complement(),
+}
+
+
+class RegexError(ValueError):
+    """Raised for syntax errors and unsupported constructs."""
+
+
+# -- AST ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    symbol_set: SymbolSet
+
+
+@dataclass(frozen=True)
+class Concat:
+    parts: Tuple
+
+
+@dataclass(frozen=True)
+class Alt:
+    parts: Tuple
+
+
+@dataclass(frozen=True)
+class Star:
+    child: object
+
+
+@dataclass(frozen=True)
+class Opt:
+    child: object
+
+
+@dataclass(frozen=True)
+class Repeat:
+    child: object
+    low: int
+    high: Optional[int]  # None means unbounded
+
+
+# -- Parser ---------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def error(self, message: str) -> RegexError:
+        return RegexError(f"{message} at offset {self.pos} in {self.pattern!r}")
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        char = self.peek()
+        if char is None:
+            raise self.error("unexpected end of pattern")
+        self.pos += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    # alternation := concat ('|' concat)*
+    def parse_alternation(self):
+        parts = [self.parse_concat()]
+        while self.peek() == "|":
+            self.take()
+            parts.append(self.parse_concat())
+        if len(parts) == 1:
+            return parts[0]
+        return Alt(tuple(parts))
+
+    def parse_concat(self):
+        parts = []
+        while self.peek() is not None and self.peek() not in "|)":
+            parts.append(self.parse_quantified())
+        if not parts:
+            raise self.error("empty branch is not supported")
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def parse_quantified(self):
+        atom = self.parse_atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.take()
+                atom = Star(atom)
+            elif char == "+":
+                self.take()
+                atom = Concat((atom, Star(atom)))
+            elif char == "?":
+                self.take()
+                atom = Opt(atom)
+            elif char == "{":
+                atom = self.parse_counted(atom)
+            else:
+                return atom
+
+    def parse_counted(self, atom):
+        self.expect("{")
+        low = self.parse_int()
+        high: Optional[int] = low
+        if self.peek() == ",":
+            self.take()
+            if self.peek() == "}":
+                high = None
+            else:
+                high = self.parse_int()
+        self.expect("}")
+        if high is not None and high < low:
+            raise self.error(f"bad repeat bounds {{{low},{high}}}")
+        if low > _MAX_COUNT or (high is not None and high > _MAX_COUNT):
+            raise self.error(f"repeat bound exceeds {_MAX_COUNT}")
+        return Repeat(atom, low, high)
+
+    def parse_int(self) -> int:
+        digits = ""
+        while self.peek() is not None and self.peek().isdigit():
+            digits += self.take()
+        if not digits:
+            raise self.error("expected a number")
+        return int(digits)
+
+    def parse_atom(self):
+        char = self.peek()
+        if char is None:
+            raise self.error("unexpected end of pattern")
+        if char == "(":
+            self.take()
+            if self.peek() == "?":  # (?:...) non-capturing group
+                self.take()
+                self.expect(":")
+            inner = self.parse_alternation()
+            self.expect(")")
+            return inner
+        if char == "[":
+            return Lit(self.parse_class())
+        if char == ".":
+            self.take()
+            return Lit(SymbolSet.universal())
+        if char == "\\":
+            self.take()
+            return Lit(self.parse_escape())
+        if char in "*+?{":
+            raise self.error(f"quantifier {char!r} with nothing to repeat")
+        if char in ")|":
+            raise self.error(f"unexpected {char!r}")
+        self.take()
+        return Lit(SymbolSet.single(char))
+
+    def parse_escape(self) -> SymbolSet:
+        char = self.take()
+        if char == "x":
+            hex_digits = self.take() + self.take()
+            try:
+                return SymbolSet.single(int(hex_digits, 16))
+            except ValueError:
+                raise self.error(f"bad hex escape \\x{hex_digits}") from None
+        if char in _ESCAPES:
+            return _ESCAPES[char]
+        return SymbolSet.single(char)
+
+    def parse_class(self) -> SymbolSet:
+        self.expect("[")
+        negate = False
+        if self.peek() == "^":
+            self.take()
+            negate = True
+        result = SymbolSet.empty()
+        first = True
+        while True:
+            char = self.peek()
+            if char is None:
+                raise self.error("unterminated character class")
+            if char == "]" and not first:
+                self.take()
+                break
+            first = False
+            item = self._class_item()
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                if len(item) != 1:
+                    raise self.error("range endpoint must be a single symbol")
+                self.take()  # '-'
+                end = self._class_item()
+                if len(end) != 1:
+                    raise self.error("range endpoint must be a single symbol")
+                result |= SymbolSet.from_ranges((item.symbols()[0], end.symbols()[0]))
+            else:
+                result |= item
+        if negate:
+            result = result.complement()
+        if not result:
+            raise self.error("empty character class")
+        return result
+
+    def _class_item(self) -> SymbolSet:
+        char = self.take()
+        if char == "\\":
+            return self.parse_escape()
+        return SymbolSet.single(char)
+
+
+def parse(pattern: str):
+    """Parse a pattern into an AST; raises :class:`RegexError` on bad syntax."""
+    parser = _Parser(pattern)
+    ast = parser.parse_alternation()
+    if parser.pos != len(pattern):
+        raise parser.error("trailing characters")
+    return ast
+
+
+# -- Glushkov construction ----------------------------------------------------------
+
+
+def _desugar(node):
+    """Rewrite Repeat into Concat/Opt/Star so Glushkov only sees 5 node kinds."""
+    if isinstance(node, Lit):
+        return node
+    if isinstance(node, Concat):
+        return Concat(tuple(_desugar(p) for p in node.parts))
+    if isinstance(node, Alt):
+        return Alt(tuple(_desugar(p) for p in node.parts))
+    if isinstance(node, Star):
+        return Star(_desugar(node.child))
+    if isinstance(node, Opt):
+        return Opt(_desugar(node.child))
+    if isinstance(node, Repeat):
+        child = _desugar(node.child)
+        parts: List[object] = [child] * node.low
+        if node.high is None:
+            parts.append(Star(child))
+        else:
+            parts.extend(Opt(child) for _ in range(node.high - node.low))
+        if not parts:
+            # {0,0}: matches only the empty string.
+            return Opt(Lit(SymbolSet.empty()))
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+class _Glushkov:
+    """Computes nullable/first/last/follow over linearized positions."""
+
+    def __init__(self):
+        self.symbol_sets: List[SymbolSet] = []
+        self.follow: List[Set[int]] = []
+
+    def new_position(self, symbol_set: SymbolSet) -> int:
+        self.symbol_sets.append(symbol_set)
+        self.follow.append(set())
+        return len(self.symbol_sets) - 1
+
+    def analyze(self, node) -> Tuple[bool, Set[int], Set[int]]:
+        """Return (nullable, first, last) and fill in follow sets."""
+        if isinstance(node, Lit):
+            pos = self.new_position(node.symbol_set)
+            return False, {pos}, {pos}
+        if isinstance(node, Concat):
+            nullable, first, last = self.analyze(node.parts[0])
+            for part in node.parts[1:]:
+                p_nullable, p_first, p_last = self.analyze(part)
+                for position in last:
+                    self.follow[position] |= p_first
+                first = first | p_first if nullable else first
+                last = last | p_last if p_nullable else p_last
+                nullable = nullable and p_nullable
+            return nullable, first, last
+        if isinstance(node, Alt):
+            nullable, first, last = False, set(), set()
+            for part in node.parts:
+                p_nullable, p_first, p_last = self.analyze(part)
+                nullable = nullable or p_nullable
+                first |= p_first
+                last |= p_last
+            return nullable, first, last
+        if isinstance(node, Star):
+            _, first, last = self.analyze(node.child)
+            for position in last:
+                self.follow[position] |= first
+            return True, first, last
+        if isinstance(node, Opt):
+            _, first, last = self.analyze(node.child)
+            return True, first, last
+        raise TypeError(f"unknown AST node after desugaring: {node!r}")
+
+
+def compile_regex(
+    pattern: str,
+    *,
+    name: str = "",
+    anchored: bool = False,
+    report_code: Optional[str] = None,
+) -> Automaton:
+    """Compile a regex into a homogeneous NFA via the Glushkov construction.
+
+    A leading ``^`` anchors the pattern at the start of data and a trailing
+    (unescaped) ``$`` restricts reporting to the end of data, matching the
+    AP's start-of-data and end-of-data facilities.  Raises
+    :class:`RegexError` for patterns that match the empty string (a
+    homogeneous NFA reports by activating a state on a symbol, so an
+    empty-string match is inexpressible, as in ANML).
+    """
+    body = pattern
+    eod = False
+    if body.startswith("^"):
+        anchored = True
+        body = body[1:]
+    if body.endswith("$") and not body.endswith("\\$"):
+        eod = True
+        body = body[:-1]
+    if not body:
+        raise RegexError(f"pattern matches the empty string: {pattern!r}")
+    ast = _desugar(parse(body))
+    glushkov = _Glushkov()
+    nullable, first, last = glushkov.analyze(ast)
+    if nullable:
+        raise RegexError(f"pattern matches the empty string: {pattern!r}")
+
+    start = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+    automaton = Automaton(name or pattern)
+    code = report_code if report_code is not None else (name or pattern)
+    for position, symbol_set in enumerate(glushkov.symbol_sets):
+        automaton.add_state(
+            symbol_set,
+            start=start if position in first else StartKind.NONE,
+            reporting=position in last,
+            report_code=code if position in last else None,
+            eod=eod and position in last,
+        )
+    for src, follows in enumerate(glushkov.follow):
+        for dst in sorted(follows):
+            automaton.add_edge(src, dst)
+
+    # Positions with empty symbol-sets (e.g. from {0,0}) can never activate;
+    # they are legal but dead weight.  Keep them: the AP would configure them
+    # too, and the hot/cold machinery is precisely about such states.
+    return automaton

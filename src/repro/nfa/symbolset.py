@@ -1,0 +1,191 @@
+"""Symbol sets over the 8-bit alphabet used by AP state transition elements.
+
+The AP's address decoder is 256 rows wide (one per input byte value), so a
+state's symbol-set is exactly a subset of ``{0, ..., 255}``.  We store it as a
+256-bit Python integer bitmask, which makes union/intersection/negation cheap
+and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+__all__ = ["ALPHABET_SIZE", "SymbolSet"]
+
+
+def _symbol_value(symbol) -> int:
+    """Normalize a symbol given as an int, a length-1 str, or a length-1 bytes."""
+    if isinstance(symbol, (int, np.integer)):
+        value = int(symbol)
+    elif isinstance(symbol, str) and len(symbol) == 1:
+        value = ord(symbol)
+    elif isinstance(symbol, (bytes, bytearray)) and len(symbol) == 1:
+        value = symbol[0]
+    else:
+        raise TypeError(f"not a symbol: {symbol!r}")
+    if not 0 <= value < ALPHABET_SIZE:
+        raise ValueError(f"symbol out of range [0, 256): {value}")
+    return value
+
+
+class SymbolSet:
+    """An immutable subset of the 256-symbol alphabet.
+
+    Construct via the classmethods (:meth:`from_symbols`, :meth:`from_ranges`,
+    :meth:`universal`, ...) or set algebra on existing instances.
+    """
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, mask: int = 0):
+        if not 0 <= mask <= _FULL_MASK:
+            raise ValueError("mask out of range for a 256-bit symbol set")
+        self._mask = mask
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "SymbolSet":
+        return cls(0)
+
+    @classmethod
+    def universal(cls) -> "SymbolSet":
+        """The ``*`` symbol-set matching every byte (ANML's dot)."""
+        return cls(_FULL_MASK)
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable) -> "SymbolSet":
+        mask = 0
+        for symbol in symbols:
+            mask |= 1 << _symbol_value(symbol)
+        return cls(mask)
+
+    @classmethod
+    def single(cls, symbol) -> "SymbolSet":
+        return cls(1 << _symbol_value(symbol))
+
+    @classmethod
+    def from_ranges(cls, *ranges: tuple) -> "SymbolSet":
+        """Build from inclusive ``(low, high)`` pairs, e.g. ``('a', 'z')``."""
+        mask = 0
+        for low, high in ranges:
+            lo, hi = _symbol_value(low), _symbol_value(high)
+            if lo > hi:
+                raise ValueError(f"empty range: ({lo}, {hi})")
+            mask |= ((1 << (hi - lo + 1)) - 1) << lo
+        return cls(mask)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    def matches(self, symbol) -> bool:
+        """Whether this set accepts ``symbol``."""
+        return bool(self._mask >> _symbol_value(symbol) & 1)
+
+    def __contains__(self, symbol) -> bool:
+        return self.matches(symbol)
+
+    def __len__(self) -> int:
+        return bin(self._mask).count("1")
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self._mask
+        value = 0
+        while mask:
+            if mask & 1:
+                yield value
+            mask >>= 1
+            value += 1
+
+    def symbols(self) -> list:
+        """All accepted symbol values, ascending."""
+        return list(self)
+
+    def is_universal(self) -> bool:
+        return self._mask == _FULL_MASK
+
+    def to_bool_array(self) -> np.ndarray:
+        """A length-256 boolean accept vector (row layout of an STE column)."""
+        out = np.zeros(ALPHABET_SIZE, dtype=bool)
+        for value in self:
+            out[value] = True
+        return out
+
+    # -- set algebra ---------------------------------------------------------
+
+    def union(self, other: "SymbolSet") -> "SymbolSet":
+        return SymbolSet(self._mask | other._mask)
+
+    def intersection(self, other: "SymbolSet") -> "SymbolSet":
+        return SymbolSet(self._mask & other._mask)
+
+    def difference(self, other: "SymbolSet") -> "SymbolSet":
+        return SymbolSet(self._mask & ~other._mask & _FULL_MASK)
+
+    def complement(self) -> "SymbolSet":
+        return SymbolSet(~self._mask & _FULL_MASK)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __invert__ = complement
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SymbolSet) and self._mask == other._mask
+
+    def __hash__(self) -> int:
+        return hash(self._mask)
+
+    def __repr__(self) -> str:
+        return f"SymbolSet({self.describe()!r})"
+
+    # -- display -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A compact, human-readable character-class-like rendering."""
+        if self.is_universal():
+            return "*"
+        if not self:
+            return "[]"
+        parts = []
+        values = self.symbols()
+        start = prev = values[0]
+        for value in values[1:] + [None]:
+            if value is not None and value == prev + 1:
+                prev = value
+                continue
+            parts.append(_render_run(start, prev))
+            if value is not None:
+                start = prev = value
+        body = "".join(parts)
+        if len(values) == 1 and len(body) <= 4:
+            return body
+        return f"[{body}]"
+
+
+def _render_char(value: int) -> str:
+    char = chr(value)
+    if char in "[]-\\^*":
+        return "\\" + char
+    if 32 <= value < 127:
+        return char
+    return f"\\x{value:02x}"
+
+
+def _render_run(start: int, end: int) -> str:
+    if start == end:
+        return _render_char(start)
+    if end == start + 1:
+        return _render_char(start) + _render_char(end)
+    return f"{_render_char(start)}-{_render_char(end)}"

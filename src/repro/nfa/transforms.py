@@ -1,0 +1,114 @@
+"""Network transforms: throughput duplication and common-prefix merging.
+
+Two transformations the paper's introduction cites as drivers of NFA state
+growth and AP pressure:
+
+* :func:`duplicate_network` — the AP supports running multiple input
+  streams by *duplicating* the NFAs (paper ref [30]; the Parallel Automata
+  Processor [31] duplicates for parallel enumeration).  Duplication
+  multiplies states, which is exactly the scaling problem SparseAP targets;
+  the ablation benchmark uses this to show the baseline degrading linearly
+  while the partitioned execution holds.
+* :func:`merge_common_prefixes` — a trie-style compiler optimization that
+  merges chain NFAs sharing a symbol-set prefix into one machine.  It
+  reduces states (helping everything fit) but couples previously
+  independent NFAs into one placement unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .automaton import Automaton, Network, StartKind
+
+__all__ = ["duplicate_network", "is_chain", "merge_common_prefixes"]
+
+
+def duplicate_network(network: Network, copies: int) -> Network:
+    """``copies`` independent copies of every NFA (multi-stream execution).
+
+    Report codes gain a ``@k`` stream suffix so the streams' reports remain
+    distinguishable, as the AP's logical-stream ids do.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    out = Network(name=f"{network.name}x{copies}")
+    for copy in range(copies):
+        for automaton in network.automata:
+            duplicate = automaton.copy(name=f"{automaton.name}@{copy}")
+            if copy > 0:
+                for state in duplicate.states():
+                    if state.reporting and state.report_code is not None:
+                        state.report_code = f"{state.report_code}@{copy}"
+            out.add(duplicate)
+    return out
+
+
+def is_chain(automaton: Automaton) -> bool:
+    """Whether the automaton is a pure chain: one start at state 0 and each
+    state feeding exactly the next (the signature/rule-set shape)."""
+    if automaton.start_states() != [0]:
+        return False
+    for sid in range(automaton.n_states):
+        successors = automaton.successors(sid)
+        if sid == automaton.n_states - 1:
+            if successors:
+                return False
+        elif successors != (sid + 1,):
+            return False
+    return True
+
+
+def merge_common_prefixes(network: Network) -> Network:
+    """Merge chain NFAs sharing symbol-set prefixes into trie machines.
+
+    Only pure chains with the same start kind participate; anything else is
+    passed through untouched.  Matching behaviour (the multiset of
+    ``(position, report_code)`` pairs) is preserved: a reporting chain state
+    maps onto a reporting trie node.
+    """
+    out = Network(name=f"{network.name}/trie")
+    chains: Dict[StartKind, List[Automaton]] = {}
+    for automaton in network.automata:
+        if is_chain(automaton) and automaton.n_states > 0:
+            chains.setdefault(automaton.state(0).start, []).append(automaton)
+        else:
+            out.add(automaton.copy())
+
+    for start_kind, members in chains.items():
+        trie = Automaton(f"{network.name}/trie/{start_kind.value}")
+        # node key: path of symbol-set masks from the root.
+        children: Dict[Tuple, Dict[int, Tuple]] = {(): {}}
+        node_state: Dict[Tuple, int] = {}
+
+        def node_for(path: Tuple, symbol_set, depth: int) -> Tuple:
+            parent_children = children[path]
+            key = symbol_set.mask
+            if key in parent_children:
+                return parent_children[key]
+            new_path = path + (key,)
+            sid = trie.add_state(
+                symbol_set,
+                start=start_kind if depth == 0 else StartKind.NONE,
+            )
+            if path in node_state:
+                trie.add_edge(node_state[path], sid)
+            node_state[new_path] = sid
+            children[new_path] = {}
+            parent_children[key] = new_path
+            return new_path
+
+        for automaton in members:
+            path: Tuple = ()
+            for depth, state in enumerate(automaton.states()):
+                path = node_for(path, state.symbol_set, depth)
+                if state.reporting:
+                    trie_state = trie.state(node_state[path])
+                    trie_state.reporting = True
+                    if trie_state.report_code is None:
+                        trie_state.report_code = state.report_code
+                    elif state.report_code and state.report_code not in trie_state.report_code:
+                        trie_state.report_code += f"+{state.report_code}"
+        if trie.n_states:
+            out.add(trie)
+    return out

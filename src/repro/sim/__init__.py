@@ -1,0 +1,31 @@
+"""Functional NFA simulation: compiled arrays, fast engine, reference engine."""
+
+from .compiled import CompiledNetwork, compile_network
+from .engine import EventRunResult, as_input_array, run, run_events
+from .hybrid import HybridResult, hybrid_run
+from .matrix import MatrixNetwork, matrix_compile, matrix_run
+from .reference import reference_run
+from .reports import DecodedReport, decode_reports, reports_by_code
+from .result import Report, SimResult, reports_equal, reports_to_array
+
+__all__ = [
+    "CompiledNetwork",
+    "compile_network",
+    "EventRunResult",
+    "as_input_array",
+    "run",
+    "run_events",
+    "HybridResult",
+    "hybrid_run",
+    "reference_run",
+    "MatrixNetwork",
+    "matrix_compile",
+    "matrix_run",
+    "DecodedReport",
+    "decode_reports",
+    "reports_by_code",
+    "Report",
+    "SimResult",
+    "reports_equal",
+    "reports_to_array",
+]

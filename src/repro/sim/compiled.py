@@ -1,0 +1,132 @@
+"""Compiled (array-form) network representation for the fast engine.
+
+Compilation flattens a :class:`~repro.nfa.automaton.Network` into:
+
+* a 256-row bit-packed *accept matrix* — row ``b`` is the packed set of
+  states whose symbol-set accepts byte ``b`` (this is exactly the DRAM row /
+  STE column layout of the AP described in the paper's Fig 3);
+* packed start masks (all-input and start-of-data);
+* a packed reporting mask;
+* a CSR successor table (the routing matrix's enable fan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import bitops
+from ..nfa.automaton import Network, StartKind
+from ..nfa.symbolset import ALPHABET_SIZE
+
+__all__ = ["CompiledNetwork", "compile_network", "gather_csr"]
+
+
+@dataclass
+class CompiledNetwork:
+    """Array-form network ready for bit-parallel simulation."""
+
+    n_states: int
+    n_words: int
+    accept: np.ndarray  # (256, n_words) uint64: accept[b] = states accepting byte b
+    start_all: np.ndarray  # packed: all-input start states
+    start_sod: np.ndarray  # packed: start-of-data start states
+    report_mask: np.ndarray  # packed: reporting states
+    eod_mask: np.ndarray  # packed: states whose reports fire only at end-of-data
+    indptr: np.ndarray  # CSR successor table (int64, len n_states + 1)
+    indices: np.ndarray  # CSR successor targets (int64)
+    report_codes: List[Optional[str]]  # per-state report code (None if silent)
+
+    def successors_of(self, states: np.ndarray) -> np.ndarray:
+        """All successors of the given activated states (with duplicates)."""
+        return gather_csr(self.indptr, self.indices, states)
+
+    def initial_enabled(self) -> np.ndarray:
+        """Enabled set before the first symbol: all starts, both kinds."""
+        return self.start_all | self.start_sod
+
+
+def gather_csr(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenate ``indices[indptr[r]:indptr[r+1]]`` for every row, vectorized."""
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    return indices[np.repeat(starts, counts) + within]
+
+
+def compile_network(network: Network) -> CompiledNetwork:
+    """Flatten a network into packed arrays (global state id order)."""
+    n = network.n_states
+    n_words = bitops.num_words(max(n, 1))
+
+    # Accept matrix: build a bool (256, n) staging matrix column by column,
+    # caching the per-symbol-set column since workloads reuse few distinct
+    # symbol-sets across thousands of states.
+    accept_bool = np.zeros((ALPHABET_SIZE, n), dtype=bool)
+    column_cache: Dict[int, np.ndarray] = {}
+    start_all_ids: List[int] = []
+    start_sod_ids: List[int] = []
+    report_ids: List[int] = []
+    eod_ids: List[int] = []
+    report_codes: List[Optional[str]] = [None] * n
+
+    for gid, _a_index, state in network.global_states():
+        mask = state.symbol_set.mask
+        column = column_cache.get(mask)
+        if column is None:
+            column = state.symbol_set.to_bool_array()
+            column_cache[mask] = column
+        accept_bool[:, gid] = column
+        if state.start is StartKind.ALL_INPUT:
+            start_all_ids.append(gid)
+        elif state.start is StartKind.START_OF_DATA:
+            start_sod_ids.append(gid)
+        if state.reporting:
+            report_ids.append(gid)
+            report_codes[gid] = state.report_code
+            if state.eod:
+                eod_ids.append(gid)
+
+    # Pack each of the 256 rows into uint64 words.
+    packed_bytes = np.packbits(accept_bool, axis=1, bitorder="little")
+    accept = np.zeros((ALPHABET_SIZE, n_words * 8), dtype=np.uint8)
+    accept[:, : packed_bytes.shape[1]] = packed_bytes
+    accept = accept.view(np.uint64)
+
+    # CSR successor table in global ids.
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    offsets = network.offsets()
+    for a_index, automaton in enumerate(network.automata):
+        base = offsets[a_index]
+        for sid in range(automaton.n_states):
+            indptr[base + sid + 1] = len(automaton.successors(sid))
+    np.cumsum(indptr, out=indptr)
+    indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    for a_index, automaton in enumerate(network.automata):
+        base = offsets[a_index]
+        for sid in range(automaton.n_states):
+            row = indptr[base + sid]
+            for k, dst in enumerate(automaton.successors(sid)):
+                indices[row + k] = base + dst
+
+    return CompiledNetwork(
+        n_states=n,
+        n_words=n_words,
+        accept=accept,
+        start_all=bitops.from_indices(start_all_ids, max(n, 1)),
+        start_sod=bitops.from_indices(start_sod_ids, max(n, 1)),
+        report_mask=bitops.from_indices(report_ids, max(n, 1)),
+        eod_mask=bitops.from_indices(eod_ids, max(n, 1)),
+        indptr=indptr,
+        indices=indices,
+        report_codes=report_codes,
+    )

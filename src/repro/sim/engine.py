@@ -1,0 +1,210 @@
+"""Fast bit-parallel NFA simulation engine.
+
+The engine mirrors the AP datapath cycle by cycle (paper §II-B): the input
+byte selects a row of the accept matrix, an AND with the enabled state vector
+yields the activated states, and the routing matrix (CSR successor table)
+produces the enabled vector for the next cycle.  State vectors are 64-bit
+packed so a cycle costs a handful of word-wide NumPy ops plus work
+proportional to the number of *activated* states, which is small for the
+sparse activity patterns this paper exploits.
+
+Two entry points:
+
+* :func:`run` — plain streaming execution (BaseAP mode / baseline AP).
+* :func:`run_events` — Algorithm 1: execution driven by the input stream
+  *and* a list of (position, state) enable events, with jump-over-idle-input
+  and enable-stall accounting (SpAP mode, also reused by the AP–CPU handler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import bitops
+from .compiled import CompiledNetwork
+from .result import SimResult, reports_to_array
+
+__all__ = ["run", "run_events", "EventRunResult", "as_input_array"]
+
+
+def as_input_array(data) -> np.ndarray:
+    """Normalize an input stream (bytes/str/array) to a uint8 array."""
+    if isinstance(data, np.ndarray):
+        return data.astype(np.uint8, copy=False)
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    return np.frombuffer(bytes(data), dtype=np.uint8)
+
+
+def _collect_reports(out: List, active: np.ndarray, report_mask: np.ndarray, position: int) -> None:
+    hits = active & report_mask
+    if hits.any():
+        for gid in bitops.to_indices(hits):
+            out.append((position, int(gid)))
+
+
+def run(
+    compiled: CompiledNetwork,
+    input_data,
+    *,
+    track_enabled: bool = True,
+) -> SimResult:
+    """Stream the whole input through the network (BaseAP semantics).
+
+    ``ever_enabled`` accumulates the enabled vector at each cycle in which a
+    symbol is consumed — the paper's hot set.
+    """
+    symbols = as_input_array(input_data)
+    n_words = compiled.n_words
+    enabled = compiled.initial_enabled().copy()
+    ever = np.zeros(n_words, dtype=np.uint64) if track_enabled else None
+    reports: List = []
+    accept = compiled.accept
+    start_all = compiled.start_all
+    report_mask = compiled.report_mask
+    # End-of-data reporters fire only at the final position.
+    mid_report_mask = report_mask & ~compiled.eod_mask
+    last = int(symbols.size) - 1
+
+    for position in range(symbols.size):
+        if track_enabled:
+            ever |= enabled
+        active = enabled & accept[symbols[position]]
+        _collect_reports(
+            reports, active, report_mask if position == last else mid_report_mask,
+            position,
+        )
+        enabled = start_all.copy()
+        if active.any():
+            succ = compiled.successors_of(bitops.to_indices(active))
+            bitops.set_indices(enabled, succ)
+
+    return SimResult(
+        n_states=compiled.n_states,
+        n_symbols=int(symbols.size),
+        cycles=int(symbols.size),
+        reports=reports_to_array(reports),
+        ever_enabled=ever if track_enabled else np.zeros(n_words, dtype=np.uint64),
+    )
+
+
+@dataclass
+class EventRunResult:
+    """Outcome of an event-driven (SpAP-style) run.
+
+    ``consumed_cycles`` counts cycles that processed an input symbol;
+    ``stall_cycles`` counts enable stalls from simultaneous events (k
+    simultaneous enables cost k-1 extra cycles, §V-B); ``total_cycles`` is
+    their sum — the SpAP-mode execution time in cycles.
+    """
+
+    n_states: int
+    n_symbols: int
+    consumed_cycles: int
+    stall_cycles: int
+    jumps: int
+    reports: np.ndarray
+    ever_enabled: np.ndarray
+
+    @property
+    def total_cycles(self) -> int:
+        return self.consumed_cycles + self.stall_cycles
+
+    def jump_ratio(self) -> float:
+        """Proportion of input cycles skipped: 1 - total/len(input)."""
+        if self.n_symbols == 0:
+            return 0.0
+        return 1.0 - self.total_cycles / float(self.n_symbols)
+
+
+def run_events(
+    compiled: CompiledNetwork,
+    input_data,
+    events: Optional[Sequence] = None,
+    *,
+    count_stalls: bool = True,
+    track_enabled: bool = False,
+) -> EventRunResult:
+    """Algorithm 1: event-driven execution with jump and enable operations.
+
+    ``events`` is a sequence of ``(position, global_state)`` pairs sorted by
+    position; each enables ``global_state`` just before ``input[position]``
+    is matched.  Events at ``position == len(input)`` have nothing left to
+    match and are ignored.  Start states of the compiled network participate
+    normally (a cold partition usually has none).
+    """
+    symbols = as_input_array(input_data)
+    n = int(symbols.size)
+    event_array = reports_to_array(events if events is not None else [])
+    positions = event_array[:, 0]
+    targets = event_array[:, 1]
+    n_events = int(positions.size)
+    if n_events:
+        if positions.min() < 0:
+            raise ValueError(f"negative event position: {int(positions.min())}")
+        if targets.min() < 0 or targets.max() >= compiled.n_states:
+            raise ValueError(
+                f"event targets must be in [0, {compiled.n_states}); "
+                f"got {int(targets.min())}..{int(targets.max())}"
+            )
+
+    n_words = compiled.n_words
+    enabled = compiled.initial_enabled().copy()
+    ever = np.zeros(n_words, dtype=np.uint64)
+    reports: List = []
+    accept = compiled.accept
+    start_all = compiled.start_all
+    report_mask = compiled.report_mask
+    mid_report_mask = report_mask & ~compiled.eod_mask
+    last = n - 1
+
+    i = 0
+    j = 0
+    consumed = 0
+    stalls = 0
+    jumps = 0
+    while i < n:
+        if not enabled.any():
+            # Jump operation: skip to where the next event enables a state.
+            while j < n_events and positions[j] < i:
+                j += 1  # events in already-passed positions cannot fire
+            if j >= n_events:
+                break
+            if positions[j] >= n:
+                break
+            if positions[j] > i:
+                i = int(positions[j])
+                jumps += 1
+        # Enable operation: inject all events at this position.
+        simultaneous = 0
+        while j < n_events and positions[j] == i:
+            bitops.set_indices(enabled, [int(targets[j])])
+            j += 1
+            simultaneous += 1
+        if count_stalls and simultaneous > 1:
+            stalls += simultaneous - 1
+        if track_enabled:
+            ever |= enabled
+        active = enabled & accept[symbols[i]]
+        _collect_reports(
+            reports, active, report_mask if i == last else mid_report_mask, i
+        )
+        enabled = start_all.copy()
+        if active.any():
+            succ = compiled.successors_of(bitops.to_indices(active))
+            bitops.set_indices(enabled, succ)
+        consumed += 1
+        i += 1
+
+    return EventRunResult(
+        n_states=compiled.n_states,
+        n_symbols=n,
+        consumed_cycles=consumed,
+        stall_cycles=stalls,
+        jumps=jumps,
+        reports=reports_to_array(reports),
+        ever_enabled=ever,
+    )

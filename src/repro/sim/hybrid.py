@@ -1,0 +1,146 @@
+"""Hybrid simulation: STE networks extended with counters and boolean gates.
+
+Cycle semantics (matching VASim / the D480 design notes):
+
+1. STE activations for the current symbol are computed exactly as in the
+   plain engines (enabled AND accept).
+2. Elements evaluate in id order (the :class:`ElementNetwork` constructor
+   guarantees that order is topological): gates combinationally; counters
+   increment on an asserted count input, reset (with priority) on an
+   asserted reset input, and assert their output per their at-target mode.
+3. Reports are collected from reporting STEs *and* reporting elements.
+4. The next cycle's enabled set is the union of STE fan-out, element
+   enables, and all-input start states.
+
+Built on the transparent set-based style of the reference engine: special
+elements are rare (a handful per machine on real AP designs), so clarity
+wins over bit-packing here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..nfa.automaton import StartKind
+from ..nfa.elements import Counter, CounterMode, ElementNetwork, Gate, GateKind
+from .engine import as_input_array
+from .result import reports_to_array
+
+__all__ = ["HybridResult", "hybrid_run"]
+
+#: Element reports use ids above the STE space: gid = n_states + element_id.
+def element_report_id(network: ElementNetwork, element_id: int) -> int:
+    return network.network.n_states + element_id
+
+
+@dataclass
+class HybridResult:
+    """Reports from a hybrid run; element reports use offset ids."""
+
+    n_symbols: int
+    reports: "object"  # (m, 2) array: (position, ste gid or offset element id)
+    final_counts: List[int]  # per-counter value after the run (0 for gates)
+
+
+def _gate_value(gate: Gate, ste_active: Set[int], element_out: List[bool]) -> bool:
+    values = [
+        (index in ste_active) if kind == "ste" else element_out[index]
+        for kind, index in gate.inputs
+    ]
+    if gate.kind is GateKind.AND:
+        return all(values)
+    if gate.kind is GateKind.OR:
+        return any(values)
+    if gate.kind is GateKind.NOR:
+        return not any(values)
+    return not values[0]  # NOT
+
+
+def hybrid_run(element_network: ElementNetwork, input_data) -> HybridResult:
+    """Simulate STEs plus special elements over the input stream."""
+    network = element_network.network
+    symbols = as_input_array(input_data)
+
+    # Flatten STE tables (reference-engine style).
+    symbol_sets, starts, reporting, eod, successors = [], [], [], [], []
+    offsets = network.offsets()
+    for a_index, automaton in enumerate(network.automata):
+        base = offsets[a_index]
+        for state in automaton.states():
+            symbol_sets.append(state.symbol_set)
+            starts.append(state.start)
+            reporting.append(state.reporting)
+            eod.append(state.eod)
+            successors.append([base + d for d in automaton.successors(state.sid)])
+
+    n = len(symbol_sets)
+    always = {gid for gid in range(n) if starts[gid] is StartKind.ALL_INPUT}
+    enabled: Set[int] = set(always)
+    enabled |= {gid for gid in range(n) if starts[gid] is StartKind.START_OF_DATA}
+
+    elements = element_network.elements
+    counts = [0] * len(elements)
+    latched = [False] * len(elements)
+    reports: List[Tuple[int, int]] = []
+
+    for position in range(symbols.size):
+        symbol = int(symbols[position])
+        ste_active = {
+            gid for gid in enabled if symbol_sets[gid].matches(symbol)
+        }
+        for gid in sorted(ste_active):
+            if reporting[gid] and (not eod[gid] or position == symbols.size - 1):
+                reports.append((position, gid))
+
+        # Evaluate elements in topological (id) order.
+        element_out: List[bool] = [False] * len(elements)
+        for element_id, element in enumerate(elements):
+            if isinstance(element, Gate):
+                out = _gate_value(element, ste_active, element_out)
+            else:
+                counter: Counter = element
+                count = any(
+                    ((kind == "ste" and index in ste_active)
+                     or (kind == "element" and element_out[index]))
+                    for kind, index in counter.count_inputs
+                )
+                reset = any(
+                    ((kind == "ste" and index in ste_active)
+                     or (kind == "element" and element_out[index]))
+                    for kind, index in counter.reset_inputs
+                )
+                out = False
+                if reset:
+                    counts[element_id] = 0
+                    latched[element_id] = False
+                elif count and counts[element_id] < counter.target:
+                    # The count saturates at the target; output asserts on
+                    # the reaching transition (and stays on when latched).
+                    counts[element_id] += 1
+                    if counts[element_id] == counter.target:
+                        out = True
+                        if counter.mode is CounterMode.LATCH:
+                            latched[element_id] = True
+                        elif counter.mode is CounterMode.ROLL:
+                            counts[element_id] = 0
+                if latched[element_id]:
+                    out = True
+            element_out[element_id] = out
+            element_reporting = getattr(element, "reporting", False)
+            if out and element_reporting:
+                reports.append((position, element_report_id(element_network, element_id)))
+
+        # Next cycle's enabled set: STE fan-out + element enables + starts.
+        enabled = set(always)
+        for gid in ste_active:
+            enabled.update(successors[gid])
+        for element_id, asserted in enumerate(element_out):
+            if asserted:
+                enabled.update(element_network.enables.get(element_id, ()))
+
+    return HybridResult(
+        n_symbols=int(symbols.size),
+        reports=reports_to_array(reports),
+        final_counts=list(counts),
+    )

@@ -1,0 +1,100 @@
+"""Matrix-form simulation engine (SciPy sparse linear-algebra formulation).
+
+A third, independently-derived implementation of the NFA step used to
+cross-validate the bit-packed engine: the enabled vector is a boolean
+array, activation is an elementwise AND with the accept matrix row, and
+successor propagation is a sparse boolean matrix-vector product with the
+transposed adjacency matrix —
+
+    active  = enabled & accept[symbol]
+    enabled' = (A^T @ active) | start_all
+
+This is the textbook "NFA as linear algebra over the boolean semiring"
+formulation.  It is slower than :mod:`repro.sim.engine` on sparse activity
+(it always touches every state) but algorithmically transparent, and its
+results must match the other engines bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+from scipy import sparse
+
+from .. import bitops
+from ..nfa.automaton import Network, StartKind
+from ..nfa.symbolset import ALPHABET_SIZE
+from .engine import as_input_array
+from .result import SimResult, reports_to_array
+
+__all__ = ["MatrixNetwork", "matrix_compile", "matrix_run"]
+
+
+class MatrixNetwork:
+    """Boolean-matrix form of a network."""
+
+    def __init__(self, network: Network):
+        n = network.n_states
+        self.n_states = n
+        accept = np.zeros((ALPHABET_SIZE, n), dtype=bool)
+        start_all = np.zeros(n, dtype=bool)
+        start_sod = np.zeros(n, dtype=bool)
+        reporting = np.zeros(n, dtype=bool)
+        eod = np.zeros(n, dtype=bool)
+        rows: List[int] = []
+        cols: List[int] = []
+        offsets = network.offsets()
+        for gid, a_index, state in network.global_states():
+            accept[:, gid] = state.symbol_set.to_bool_array()
+            if state.start is StartKind.ALL_INPUT:
+                start_all[gid] = True
+            elif state.start is StartKind.START_OF_DATA:
+                start_sod[gid] = True
+            reporting[gid] = state.reporting
+            eod[gid] = state.eod
+            base = offsets[a_index]
+            for dst in network.automata[a_index].successors(state.sid):
+                rows.append(base + dst)
+                cols.append(gid)
+        self.accept = accept
+        self.start_all = start_all
+        self.start_sod = start_sod
+        self.reporting = reporting
+        self.eod = eod
+        # adjacency_t[dst, src]: dst enabled when src activated.
+        self.adjacency_t = sparse.csr_matrix(
+            (np.ones(len(rows), dtype=bool), (rows, cols)), shape=(n, n), dtype=bool
+        )
+
+
+def matrix_compile(network: Network) -> MatrixNetwork:
+    """Build the boolean-matrix representation."""
+    return MatrixNetwork(network)
+
+
+def matrix_run(compiled: MatrixNetwork, input_data) -> SimResult:
+    """Run the matrix engine; result fields match :func:`repro.sim.run`."""
+    symbols = as_input_array(input_data)
+    n = compiled.n_states
+    enabled = compiled.start_all | compiled.start_sod
+    ever = np.zeros(n, dtype=bool)
+    reports: List = []
+    for position in range(symbols.size):
+        ever |= enabled
+        active = enabled & compiled.accept[symbols[position]]
+        mask = compiled.reporting if position == symbols.size - 1 else (
+            compiled.reporting & ~compiled.eod
+        )
+        fired = active & mask
+        if fired.any():
+            for gid in np.flatnonzero(fired):
+                reports.append((position, int(gid)))
+        enabled = compiled.adjacency_t.dot(active) | compiled.start_all
+    return SimResult(
+        n_states=n,
+        n_symbols=int(symbols.size),
+        cycles=int(symbols.size),
+        reports=reports_to_array(reports),
+        ever_enabled=bitops.from_bool(ever) if n else bitops.empty(1),
+    )

@@ -1,0 +1,83 @@
+"""Reference (set-based, pure-Python) simulation engine.
+
+Slow but transparently correct: a direct transcription of the homogeneous NFA
+semantics in paper §II-A.  Exists to validate the bit-parallel engine and the
+SpAP event loop through property tests, and as executable documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import bitops
+from ..nfa.automaton import Network, StartKind
+from .engine import as_input_array
+from .result import SimResult, reports_to_array
+
+__all__ = ["reference_run"]
+
+
+def _flatten(network: Network):
+    """Per-global-state tables: symbol-set, start kind, reporting, successors."""
+    symbol_sets = []
+    starts = []
+    reporting = []
+    eod = []
+    successors: List[List[int]] = []
+    offsets = network.offsets()
+    for a_index, automaton in enumerate(network.automata):
+        base = offsets[a_index]
+        for state in automaton.states():
+            symbol_sets.append(state.symbol_set)
+            starts.append(state.start)
+            reporting.append(state.reporting)
+            eod.append(state.eod)
+            successors.append([base + dst for dst in automaton.successors(state.sid)])
+    return symbol_sets, starts, reporting, eod, successors
+
+
+def reference_run(
+    network: Network,
+    input_data,
+    events: Optional[Sequence[Tuple[int, int]]] = None,
+) -> SimResult:
+    """Simulate ``network`` over the input, optionally with enable events.
+
+    ``events`` are ``(position, global_state)`` pairs: the state is enabled
+    just before ``input[position]`` is matched (same convention as
+    :func:`repro.sim.engine.run_events`, but without jump/stall modelling —
+    every cycle is executed, which yields identical reports).
+    """
+    symbols = as_input_array(input_data)
+    symbol_sets, starts, reporting, eod, successors = _flatten(network)
+    n = len(symbol_sets)
+
+    injected: Dict[int, List[int]] = {}
+    for position, gid in events or []:
+        injected.setdefault(int(position), []).append(int(gid))
+
+    always_enabled = {gid for gid in range(n) if starts[gid] is StartKind.ALL_INPUT}
+    enabled: Set[int] = set(always_enabled)
+    enabled |= {gid for gid in range(n) if starts[gid] is StartKind.START_OF_DATA}
+
+    reports: List[Tuple[int, int]] = []
+    ever: Set[int] = set()
+    for position in range(symbols.size):
+        enabled |= set(injected.get(position, ()))
+        ever |= enabled
+        symbol = int(symbols[position])
+        activated = [gid for gid in sorted(enabled) if symbol_sets[gid].matches(symbol)]
+        for gid in activated:
+            if reporting[gid] and (not eod[gid] or position == symbols.size - 1):
+                reports.append((position, gid))
+        enabled = set(always_enabled)
+        for gid in activated:
+            enabled.update(successors[gid])
+
+    return SimResult(
+        n_states=n,
+        n_symbols=int(symbols.size),
+        cycles=int(symbols.size),
+        reports=reports_to_array(reports),
+        ever_enabled=bitops.from_indices(sorted(ever), max(n, 1)),
+    )

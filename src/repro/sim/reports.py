@@ -1,0 +1,62 @@
+"""Report decoding: turn raw ``(position, state)`` pairs into user-facing
+match records (machine name, report code, mismatch budget, ...).
+
+The engines deliberately return raw id pairs (that is what the AP's output
+region holds); this module is the host-side decoder a deployed application
+would run over the drained report buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nfa.automaton import Network
+
+__all__ = ["DecodedReport", "decode_reports", "reports_by_code"]
+
+
+@dataclass(frozen=True)
+class DecodedReport:
+    """One match event, resolved against the network that produced it."""
+
+    position: int
+    automaton: str
+    code: Optional[str]
+    state_label: str
+
+    def __str__(self) -> str:
+        code = self.code if self.code is not None else self.automaton
+        return f"{code} @ {self.position}"
+
+
+def decode_reports(network: Network, reports: np.ndarray) -> List[DecodedReport]:
+    """Resolve raw ``(position, global_state)`` reports against ``network``."""
+    arr = np.asarray(reports)
+    if arr.size == 0:
+        return []
+    out: List[DecodedReport] = []
+    offsets = network.offsets()
+    for position, gid in arr.reshape(-1, 2):
+        a_index, sid = network.locate(int(gid))
+        state = network.automata[a_index].state(sid)
+        out.append(
+            DecodedReport(
+                position=int(position),
+                automaton=network.automata[a_index].name,
+                code=state.report_code,
+                state_label=state.label,
+            )
+        )
+    return out
+
+
+def reports_by_code(network: Network, reports: np.ndarray) -> Dict[str, List[int]]:
+    """Group match positions by report code (falling back to machine name)."""
+    grouped: Dict[str, List[int]] = {}
+    for decoded in decode_reports(network, reports):
+        key = decoded.code if decoded.code is not None else decoded.automaton
+        grouped.setdefault(key, []).append(decoded.position)
+    return grouped

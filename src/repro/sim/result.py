@@ -1,0 +1,66 @@
+"""Simulation result types shared by all engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import bitops
+
+__all__ = ["Report", "SimResult", "reports_to_array", "reports_equal"]
+
+# A report is (input_position, global_state_id).
+Report = Tuple[int, int]
+
+
+def reports_to_array(reports) -> np.ndarray:
+    """Normalize reports to a sorted ``(m, 2)`` int64 array."""
+    arr = np.asarray(list(reports), dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = arr.reshape(-1, 2)
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    return arr[order]
+
+
+def reports_equal(left, right) -> bool:
+    """Whether two report collections are identical as sets with multiplicity."""
+    a, b = reports_to_array(left), reports_to_array(right)
+    return a.shape == b.shape and bool(np.array_equal(a, b))
+
+
+@dataclass
+class SimResult:
+    """Outcome of running a network over an input stream.
+
+    ``ever_enabled`` is a packed bitset over global state ids marking states
+    that were enabled at any cycle in which a symbol was consumed — the
+    paper's hot set.  ``cycles`` equals the number of symbols consumed (the
+    AP processes one symbol per cycle).
+    """
+
+    n_states: int
+    n_symbols: int
+    cycles: int
+    reports: np.ndarray  # (m, 2) [position, global_state]
+    ever_enabled: np.ndarray  # packed uint64 bitset
+
+    def report_tuples(self) -> List[Report]:
+        return [tuple(row) for row in self.reports]
+
+    def hot_indices(self) -> np.ndarray:
+        return bitops.to_indices(self.ever_enabled)
+
+    def hot_count(self) -> int:
+        return bitops.popcount(self.ever_enabled)
+
+    def hot_fraction(self) -> float:
+        if self.n_states == 0:
+            return 0.0
+        return self.hot_count() / float(self.n_states)
+
+    def hot_mask(self) -> np.ndarray:
+        """Boolean hot mask over global state ids."""
+        return bitops.to_bool(self.ever_enabled, self.n_states)

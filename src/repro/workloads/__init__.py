@@ -1,0 +1,43 @@
+"""The 26-application workload suite and its generators."""
+
+from .er import er_automaton, er_network
+from .generators import (
+    ClassChainSpec,
+    class_chain_network,
+    class_of_width,
+    dotstar_network,
+    patterns_network,
+    representative_match,
+    tree_network,
+)
+from .hamming import bmia_automaton, bmia_size, hamming_network
+from .inputs import dna_bytes, plant, token_stream, uniform_bytes
+from .levenshtein import levenshtein_automaton, levenshtein_network
+from .registry import APPS, DEFAULT_SCALE, AppSpec, PaperStats, app_names, get_app
+
+__all__ = [
+    "APPS",
+    "DEFAULT_SCALE",
+    "AppSpec",
+    "PaperStats",
+    "app_names",
+    "get_app",
+    "er_automaton",
+    "er_network",
+    "ClassChainSpec",
+    "class_chain_network",
+    "class_of_width",
+    "dotstar_network",
+    "patterns_network",
+    "representative_match",
+    "tree_network",
+    "bmia_automaton",
+    "bmia_size",
+    "hamming_network",
+    "levenshtein_automaton",
+    "levenshtein_network",
+    "dna_bytes",
+    "plant",
+    "token_stream",
+    "uniform_bytes",
+]

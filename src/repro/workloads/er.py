@@ -1,0 +1,108 @@
+"""Entity Resolution (ER) workload: name-matching NFAs with large SCCs.
+
+The ANMLZoo ER application (Bo et al.) matches permutations of name tokens
+with separators and wildcard gaps; the compiled machines contain large
+cyclic cores (token loops), which the paper calls out twice: ER is the one
+application whose hot states do *not* correlate with depth (§III-B) and,
+with LV, one of the two whose large SCCs prevent effective partitioning
+(Fig 8, §VII).
+
+We reproduce that structure directly: each NFA has a small entry chain, a
+large strongly connected token-loop core (a ring of token chains with
+shortcut chords, modelling "any order, any number of tokens"), and an exit
+chain to a reporting state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nfa.automaton import Automaton, Network, StartKind
+from .generators import class_of_width
+
+__all__ = ["er_automaton", "er_network"]
+
+
+def er_automaton(
+    rng: np.random.Generator,
+    *,
+    core_states: int = 60,
+    entry_states: int = 4,
+    exit_chains: int = 4,
+    exit_chain_len: int = 1,
+    entry_width: int = 230,
+    token_width: int = 60,
+    name: str = "er",
+) -> Automaton:
+    """One ER machine: entry chain -> SCC token core -> exit chain.
+
+    The entry chain is permissive enough that activation reaches the core,
+    while the core's token classes keep propagation sub-critical: only part
+    of each core is *truly* hot, but since the core is one SCC the
+    partitioner must keep all of it — ER's Fig 8 signature.
+    """
+    if core_states < 2:
+        raise ValueError("core needs at least 2 states to form a cycle")
+    automaton = Automaton(name)
+
+    previous = None
+    for index in range(entry_states):
+        sid = automaton.add_state(
+            class_of_width(rng, entry_width),
+            start=StartKind.ALL_INPUT if index == 0 else StartKind.NONE,
+            label=f"entry{index}",
+        )
+        if previous is not None:
+            automaton.add_edge(previous, sid)
+        previous = sid
+
+    # Token-loop core: a ring with random chords -> one big SCC.
+    core = [
+        automaton.add_state(class_of_width(rng, token_width), label=f"core{index}")
+        for index in range(core_states)
+    ]
+    automaton.add_edge(previous, core[0])
+    for index, sid in enumerate(core):
+        automaton.add_edge(sid, core[(index + 1) % core_states])
+    n_chords = core_states // 2
+    for _ in range(n_chords):
+        src = core[int(rng.integers(0, core_states))]
+        dst = core[int(rng.integers(0, core_states))]
+        automaton.add_edge(src, dst)
+
+    # Several exit chains leave the core from distinct token states (one per
+    # resolved entity form); only the canonical one reports.  Every exit
+    # head is a separate hot->cold crossing target, which is what inflates
+    # ER's intermediate reporting states to several times its original
+    # count in the paper's Fig 12.
+    for chain in range(exit_chains):
+        previous = core[int(rng.integers(0, core_states))]
+        for index in range(exit_chain_len):
+            reporting = chain == 0 and index == exit_chain_len - 1
+            sid = automaton.add_state(
+                class_of_width(rng, 2),
+                reporting=reporting,
+                report_code=f"{name}/match" if reporting else None,
+                label=f"exit{chain}.{index}",
+            )
+            automaton.add_edge(previous, sid)
+            previous = sid
+    return automaton
+
+
+def er_network(n_nfas: int, seed: int, *, states_per_nfa: int = 95, name: str = "er") -> Network:
+    """The ER workload: ``n_nfas`` machines of roughly ``states_per_nfa``."""
+    rng = np.random.default_rng(seed)
+    entry, exit_ = 4, 4
+    core = max(2, states_per_nfa - entry - exit_)
+    network = Network(name)
+    for index in range(n_nfas):
+        network.add(
+            er_automaton(
+                rng,
+                core_states=core,
+                entry_states=entry,
+                name=f"{name}#{index}",
+            )
+        )
+    return network

@@ -1,0 +1,286 @@
+"""Structural building blocks shared by the application generators.
+
+The mechanisms under study depend on an application's *structural signature*:
+per-NFA depth, symbol-set selectivity (which controls how deep activation
+penetrates on a given input), SCC structure, sharing across NFAs (which
+controls simultaneous intermediate reports), and start-state kind.  These
+builders expose exactly those knobs; see `repro.workloads.registry` for how
+each of the paper's 26 applications instantiates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nfa.automaton import Automaton, Network, StartKind
+from ..nfa.symbolset import SymbolSet
+
+__all__ = [
+    "class_of_width",
+    "representative_bytes",
+    "ClassChainSpec",
+    "class_chain_network",
+    "dotstar_network",
+    "tree_network",
+    "patterns_network",
+    "representative_match",
+]
+
+
+def class_of_width(rng: np.random.Generator, width: int, alphabet: bytes = None) -> SymbolSet:
+    """A random symbol class of ``width`` symbols (contiguous run + jitter).
+
+    Contiguous runs model character ranges (``[a-z]``, protocol byte bands);
+    a sprinkle of extra symbols models composite classes.
+    """
+    if alphabet is not None:
+        table = list(alphabet)
+        width = min(width, len(table))
+        chosen = rng.choice(len(table), size=width, replace=False)
+        return SymbolSet.from_symbols([table[i] for i in chosen])
+    width = max(1, min(256, width))
+    start = int(rng.integers(0, 256 - width + 1))
+    return SymbolSet.from_ranges((start, start + width - 1))
+
+
+def representative_bytes(symbol_sets: Sequence[SymbolSet], rng: np.random.Generator) -> bytes:
+    """One concrete byte string accepted along a chain of symbol-sets."""
+    out = bytearray()
+    for symbol_set in symbol_sets:
+        symbols = symbol_set.symbols()
+        if not symbols:
+            raise ValueError("cannot pick a representative from an empty symbol set")
+        out.append(symbols[int(rng.integers(0, len(symbols)))])
+    return bytes(out)
+
+
+@dataclass
+class ClassChainSpec:
+    """Shape parameters for a family of class-chain NFAs.
+
+    ``length`` and ``width`` are callables drawing per-NFA chain length and
+    per-state class width from the family's distributions.  A shared prefix
+    of ``shared_prefix`` states reuses identical symbol-sets across every NFA
+    in the family, which synchronizes partial matches (and therefore
+    intermediate reports) across NFAs — the PowerEN/Brill signature.
+    """
+
+    n_nfas: int
+    length: Callable[[np.random.Generator], int]
+    width: Callable[[np.random.Generator], int]
+    alphabet: Optional[bytes] = None
+    shared_prefix: int = 0
+    start: StartKind = StartKind.ALL_INPUT
+    wildcard_prob: float = 0.0  # chance a state is universal (signature gaps)
+    name: str = "chains"
+
+
+def class_chain_network(spec: ClassChainSpec, seed: int) -> Network:
+    """A network of independent chain NFAs with class-valued states."""
+    rng = np.random.default_rng(seed)
+    network = Network(spec.name)
+    shared: List[SymbolSet] = [
+        class_of_width(rng, spec.width(rng), spec.alphabet) for _ in range(spec.shared_prefix)
+    ]
+    for index in range(spec.n_nfas):
+        length = max(1, spec.length(rng))
+        automaton = Automaton(f"{spec.name}#{index}")
+        previous = None
+        for depth in range(length):
+            if depth < len(shared):
+                symbol_set = shared[depth]
+            elif spec.wildcard_prob and rng.random() < spec.wildcard_prob:
+                symbol_set = SymbolSet.universal()
+            else:
+                symbol_set = class_of_width(rng, spec.width(rng), spec.alphabet)
+            sid = automaton.add_state(
+                symbol_set,
+                start=spec.start if depth == 0 else StartKind.NONE,
+                reporting=depth == length - 1,
+                report_code=f"{spec.name}#{index}" if depth == length - 1 else None,
+            )
+            if previous is not None:
+                automaton.add_edge(previous, sid)
+            previous = sid
+        network.add(automaton)
+    return network
+
+
+def dotstar_network(
+    n_nfas: int,
+    prefix_len: Callable[[np.random.Generator], int],
+    suffix_len: Callable[[np.random.Generator], int],
+    dotstar_fraction: float,
+    seed: int,
+    *,
+    width: Callable[[np.random.Generator], int] = lambda rng: 1,
+    alphabet: Optional[bytes] = None,
+    name: str = "dotstar",
+) -> Network:
+    """Becchi-style ``prefix.*suffix`` rule sets.
+
+    A ``dotstar_fraction`` of the NFAs contain a universal self-loop state
+    between prefix and suffix (once the prefix matches, the self-loop stays
+    active and the suffix heads are enabled forever after); the rest are
+    plain chains.
+    """
+    rng = np.random.default_rng(seed)
+    network = Network(name)
+    for index in range(n_nfas):
+        automaton = Automaton(f"{name}#{index}")
+        previous = None
+        for _ in range(max(1, prefix_len(rng))):
+            sid = automaton.add_state(
+                class_of_width(rng, width(rng), alphabet),
+                start=StartKind.ALL_INPUT if previous is None else StartKind.NONE,
+            )
+            if previous is not None:
+                automaton.add_edge(previous, sid)
+            previous = sid
+        if rng.random() < dotstar_fraction:
+            star = automaton.add_state(SymbolSet.universal())
+            automaton.add_edge(previous, star)
+            automaton.add_edge(star, star)
+            previous = star
+        suffix = max(1, suffix_len(rng))
+        for offset in range(suffix):
+            sid = automaton.add_state(
+                class_of_width(rng, width(rng), alphabet),
+                reporting=offset == suffix - 1,
+                report_code=f"{name}#{index}" if offset == suffix - 1 else None,
+            )
+            automaton.add_edge(previous, sid)
+            previous = sid
+        network.add(automaton)
+    return network
+
+
+def patterns_network(
+    patterns: Sequence[bytes],
+    *,
+    name: str = "patterns",
+    class_prob: float = 0.0,
+    class_width: int = 8,
+    alphabet: Optional[bytes] = None,
+    start: StartKind = StartKind.ALL_INPUT,
+    wildcard_prob: float = 0.0,
+    mid_report_prob: float = 0.0,
+    seed: int = 0,
+) -> Network:
+    """One chain NFA per concrete byte pattern (signature/rule sets).
+
+    With probability ``class_prob`` a state is widened from the exact byte to
+    a class of ``class_width`` symbols *containing* that byte (so the pattern
+    itself still matches — the representative string is the pattern); with
+    probability ``wildcard_prob`` it becomes universal (signature gap bytes).
+    With probability ``mid_report_prob`` a rule gains an extra reporting
+    state mid-chain (Snort rules report per content match, so the paper's
+    rule sets carry more reporting states than NFAs, Table II).
+    """
+    rng = np.random.default_rng(seed)
+    network = Network(name)
+    for index, pattern in enumerate(patterns):
+        if not pattern:
+            raise ValueError(f"pattern {index} is empty")
+        automaton = Automaton(f"{name}#{index}")
+        mid_report = -1
+        if mid_report_prob and len(pattern) >= 4 and rng.random() < mid_report_prob:
+            mid_report = int(rng.integers(1, len(pattern) - 1))
+        previous = None
+        for depth, byte in enumerate(pattern):
+            roll = rng.random()
+            if wildcard_prob and roll < wildcard_prob and depth > 0:
+                symbol_set = SymbolSet.universal()
+            elif class_prob and roll < wildcard_prob + class_prob:
+                symbol_set = class_of_width(rng, class_width, alphabet) | SymbolSet.single(byte)
+            else:
+                symbol_set = SymbolSet.single(byte)
+            reporting = depth == len(pattern) - 1 or depth == mid_report
+            sid = automaton.add_state(
+                symbol_set,
+                start=start if depth == 0 else StartKind.NONE,
+                reporting=reporting,
+                report_code=f"{name}#{index}" if reporting else None,
+            )
+            if previous is not None:
+                automaton.add_edge(previous, sid)
+            previous = sid
+        network.add(automaton)
+    return network
+
+
+def representative_match(automaton: Automaton, rng: np.random.Generator) -> Optional[bytes]:
+    """A concrete byte string that drives ``automaton`` from a start state to
+    a reporting state (BFS shortest path), or None if unreachable."""
+    parents = {}
+    queue = list(automaton.start_states())
+    seen = set(queue)
+    goal = None
+    for sid in queue:
+        if automaton.state(sid).reporting:
+            goal = sid
+    while queue and goal is None:
+        nxt = []
+        for src in queue:
+            for dst in automaton.successors(src):
+                if dst in seen:
+                    continue
+                seen.add(dst)
+                parents[dst] = src
+                if automaton.state(dst).reporting:
+                    goal = dst
+                    break
+                nxt.append(dst)
+            if goal is not None:
+                break
+        queue = nxt
+    if goal is None:
+        return None
+    path = [goal]
+    while path[-1] in parents:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return representative_bytes([automaton.state(s).symbol_set for s in path], rng)
+
+
+def tree_network(
+    n_nfas: int,
+    depth: int,
+    leaves: int,
+    width: Callable[[np.random.Generator], int],
+    seed: int,
+    *,
+    leaf_width: Callable[[np.random.Generator], int] = lambda rng: 1,
+    alphabet: Optional[bytes] = None,
+    name: str = "trees",
+) -> Network:
+    """Random-Forest-style NFAs: per tree, ``leaves`` root-to-leaf feature
+    chains of fixed ``depth`` (MaxTopo = depth, as in RF1/RF2).
+
+    Internal levels use wide feature intervals (so nearly all states run
+    hot); the reporting leaf level is a narrow label byte, keeping the
+    report rate realistic.
+    """
+    rng = np.random.default_rng(seed)
+    network = Network(name)
+    for index in range(n_nfas):
+        automaton = Automaton(f"{name}#{index}")
+        for leaf in range(leaves):
+            previous = None
+            for level in range(depth):
+                is_leaf = level == depth - 1
+                draw = leaf_width(rng) if is_leaf else width(rng)
+                sid = automaton.add_state(
+                    class_of_width(rng, draw, alphabet),
+                    start=StartKind.ALL_INPUT if level == 0 else StartKind.NONE,
+                    reporting=is_leaf,
+                    report_code=f"{name}#{index}.{leaf}" if is_leaf else None,
+                )
+                if previous is not None:
+                    automaton.add_edge(previous, sid)
+                previous = sid
+        network.add(automaton)
+    return network

@@ -1,0 +1,137 @@
+"""Bounded Mismatch Identification Automata (BMIA) — the Hamming workloads.
+
+Implements the construction of Roy & Aluru used by ANMLZoo's Hamming
+benchmark and by the paper's HM500/HM1000/HM1500 workloads: for a pattern
+``P`` of length ``l`` and mismatch budget ``d``, the automaton accepts every
+string within Hamming distance ``d`` of ``P``.
+
+States form a (position, mismatches) grid.  Homogeneity requires splitting
+each grid cell by the *incoming* symbol kind: ``M(i, j)`` is entered by
+matching ``P[i]`` and ``X(i, j)`` by mismatching it, so a BMIA has
+``l*(d+1)`` match states plus ``l*d`` mismatch states.  All states at the
+final position report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..nfa.automaton import Automaton, Network, StartKind
+from ..nfa.symbolset import SymbolSet
+
+__all__ = ["bmia_automaton", "hamming_network", "bmia_size"]
+
+
+def bmia_size(length: int, distance: int) -> int:
+    """Number of states of a BMIA for the given pattern length and budget."""
+    return length * (distance + 1) + length * distance
+
+
+def bmia_automaton(
+    pattern: bytes,
+    distance: int,
+    *,
+    name: str = "",
+    alphabet: bytes = None,
+    start: StartKind = StartKind.ALL_INPUT,
+) -> Automaton:
+    """Build the BMIA for ``pattern`` with up to ``distance`` mismatches.
+
+    Mismatch states accept the complement of the expected symbol within the
+    given ``alphabet`` (the full 256-byte alphabet when None).
+    """
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if distance >= len(pattern):
+        raise ValueError("distance must be smaller than the pattern length")
+
+    universe = SymbolSet.from_symbols(alphabet) if alphabet else SymbolSet.universal()
+    length = len(pattern)
+    automaton = Automaton(name or f"bmia-{pattern[:8].hex()}")
+    ids: Dict[Tuple[str, int, int], int] = {}
+
+    def mismatch_set(position: int) -> SymbolSet:
+        return universe - SymbolSet.single(pattern[position])
+
+    for position in range(length):
+        expected = SymbolSet.single(pattern[position])
+        reporting = position == length - 1
+        for mismatches in range(distance + 1):
+            ids[("m", position, mismatches)] = automaton.add_state(
+                expected,
+                start=start if position == 0 and mismatches == 0 else StartKind.NONE,
+                reporting=reporting,
+                report_code=f"{automaton.name}/d{mismatches}" if reporting else None,
+                label=f"M({position},{mismatches})",
+            )
+        for mismatches in range(1, distance + 1):
+            ids[("x", position, mismatches)] = automaton.add_state(
+                mismatch_set(position),
+                start=start if position == 0 and mismatches == 1 else StartKind.NONE,
+                reporting=reporting,
+                report_code=f"{automaton.name}/d{mismatches}" if reporting else None,
+                label=f"X({position},{mismatches})",
+            )
+
+    for position in range(length - 1):
+        for mismatches in range(distance + 1):
+            for kind in ("m", "x"):
+                if (kind, position, mismatches) not in ids:
+                    continue
+                src = ids[(kind, position, mismatches)]
+                automaton.add_edge(src, ids[("m", position + 1, mismatches)])
+                if mismatches + 1 <= distance:
+                    automaton.add_edge(src, ids[("x", position + 1, mismatches + 1)])
+    return automaton
+
+
+def hamming_network(
+    n_nfas: int = None,
+    seed: int = 0,
+    *,
+    target_states: int = None,
+    lengths: Sequence[int] = (16, 24, 36, 48),
+    distance_fraction: float = 0.08,
+    alphabet: bytes = b"ACGT",
+    name: str = "hamming",
+) -> Network:
+    """A Hamming workload: BMIAs over random patterns.
+
+    Mirrors the paper's generation recipe: a mix of pattern lengths, each
+    with a distance of 2 to 20% of the pattern length.  Give either a
+    machine count (``n_nfas``) or a total state budget (``target_states``).
+    """
+    if (n_nfas is None) == (target_states is None):
+        raise ValueError("give exactly one of n_nfas or target_states")
+    rng = np.random.default_rng(seed)
+    table = np.frombuffer(bytes(alphabet), dtype=np.uint8)
+    network = Network(name)
+    index = 0
+    while True:
+        if n_nfas is not None and index >= n_nfas:
+            break
+        length = int(lengths[index % len(lengths)])
+        distance = max(1, int(distance_fraction * length))
+        if target_states is not None:
+            # Never overshoot the state budget: the S/C ratio (and with it
+            # the baseline batch count) must match the paper exactly.
+            if network.n_states + bmia_size(length, distance) > target_states:
+                if network.n_states >= 0.9 * target_states and index >= 2:
+                    break
+                # Fall back to the smallest machine that still fits.
+                length = int(min(lengths))
+                distance = max(1, int(distance_fraction * length))
+                if network.n_states + bmia_size(length, distance) > target_states:
+                    break
+        pattern = table[rng.integers(0, table.size, size=length)].tobytes()
+        network.add(
+            bmia_automaton(
+                pattern, distance, name=f"{name}#{index}", alphabet=alphabet
+            )
+        )
+        index += 1
+    return network

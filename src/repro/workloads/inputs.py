@@ -1,0 +1,80 @@
+"""Input stream generators for the workload suite.
+
+Applications consume byte streams.  Three families cover the suite:
+
+* :func:`uniform_bytes` — uniform random bytes over a (possibly restricted)
+  alphabet: benign binary traffic (ClamAV), random DNA (Hamming), etc.
+* :func:`token_stream` — concatenated tokens drawn from a dictionary, so
+  rule sets sharing those tokens see realistic partial-match activity
+  (Snort traffic, text corpora for Brill).
+* :func:`plant` — splice full pattern occurrences into a stream so the
+  workload produces genuine end-to-end reports.
+
+All generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["uniform_bytes", "token_stream", "plant", "dna_bytes"]
+
+DNA = b"ACGT"
+
+
+def uniform_bytes(length: int, seed: int, alphabet: bytes = None) -> bytes:
+    """Uniform random bytes; restricted to ``alphabet`` when given."""
+    rng = np.random.default_rng(seed)
+    if alphabet is None:
+        return rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+    table = np.frombuffer(bytes(alphabet), dtype=np.uint8)
+    return table[rng.integers(0, table.size, size=length)].tobytes()
+
+
+def dna_bytes(length: int, seed: int) -> bytes:
+    """Random DNA sequence (Hamming / motif workloads)."""
+    return uniform_bytes(length, seed, DNA)
+
+
+def token_stream(length: int, seed: int, tokens: Sequence[bytes], *, noise: float = 0.0,
+                 noise_alphabet: bytes = None) -> bytes:
+    """Concatenate randomly drawn tokens up to ``length`` bytes.
+
+    With probability ``noise`` a random byte is emitted instead of a token,
+    which breaks up matches the way real traffic does.
+    """
+    if not tokens:
+        raise ValueError("token_stream needs at least one token")
+    rng = np.random.default_rng(seed)
+    out = bytearray()
+    while len(out) < length:
+        if noise > 0.0 and rng.random() < noise:
+            if noise_alphabet:
+                out.append(noise_alphabet[rng.integers(0, len(noise_alphabet))])
+            else:
+                out.append(int(rng.integers(0, 256)))
+        else:
+            out.extend(tokens[rng.integers(0, len(tokens))])
+    return bytes(out[:length])
+
+
+def plant(data: bytes, occurrences: Sequence[bytes], seed: int) -> bytes:
+    """Overwrite random non-overlapping slices of ``data`` with the given
+    byte strings, producing genuine full matches."""
+    rng = np.random.default_rng(seed)
+    out = bytearray(data)
+    used: List[range] = []
+    for occurrence in occurrences:
+        if len(occurrence) > len(out):
+            continue
+        for _attempt in range(64):
+            start = int(rng.integers(0, len(out) - len(occurrence) + 1))
+            span = range(start, start + len(occurrence))
+            if any(span.start < u.stop and u.start < span.stop for u in used):
+                continue
+            out[span.start : span.stop] = occurrence
+            used.append(span)
+            break
+    return bytes(out)

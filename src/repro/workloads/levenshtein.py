@@ -1,0 +1,116 @@
+"""Levenshtein (edit-distance) automata — the LV workload.
+
+A traversal automaton over the (position, edits) grid: match edges advance
+the position, substitution edges advance position and edits, and insertion
+edges consume a symbol without advancing the position.  As in ANMLZoo's
+Levenshtein machines, the wildcard insertion states are re-entrant — each
+position's insertion column forms a cycle so the machine can absorb runs of
+noise symbols at a fixed position.  That re-entrant core is what gives LV
+its *large SCCs*, the property the paper highlights (Fig 8): topological
+partitioning cannot cut inside an SCC, so LV yields almost no resource
+savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nfa.automaton import Automaton, Network, StartKind
+from ..nfa.symbolset import SymbolSet
+
+__all__ = ["levenshtein_automaton", "levenshtein_network"]
+
+
+def levenshtein_automaton(
+    pattern: bytes,
+    distance: int,
+    *,
+    name: str = "",
+    alphabet: bytes = None,
+) -> Automaton:
+    """Edit-distance traversal automaton with a re-entrant insertion core."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if distance < 1:
+        raise ValueError("distance must be at least 1 for an insertion core")
+    universe = SymbolSet.from_symbols(alphabet) if alphabet else SymbolSet.universal()
+    length = len(pattern)
+    automaton = Automaton(name or f"lev-{pattern[:8].hex()}")
+
+    match_ids = {}
+    insert_ids = {}
+    for position in range(length):
+        expected = SymbolSet.single(pattern[position])
+        reporting = position == length - 1
+        for edits in range(distance + 1):
+            match_ids[(position, edits)] = automaton.add_state(
+                expected,
+                start=StartKind.ALL_INPUT if position == 0 and edits == 0 else StartKind.NONE,
+                reporting=reporting,
+                report_code=f"{automaton.name}/e{edits}" if reporting else None,
+                label=f"M({position},{edits})",
+            )
+        for edits in range(1, distance + 1):
+            # Wildcard states: entered by consuming a non-matching symbol,
+            # either in place (insertion) or advancing (substitution).  A
+            # wildcard in the final column completes a match within budget,
+            # so it reports.
+            insert_ids[(position, edits)] = automaton.add_state(
+                universe,
+                reporting=position == length - 1,
+                report_code=f"{automaton.name}/e{edits}" if position == length - 1 else None,
+                label=f"I({position},{edits})",
+            )
+
+    for position in range(length):
+        for edits in range(distance + 1):
+            src = match_ids[(position, edits)]
+            if position + 1 < length:
+                # Match: consume the next expected symbol.
+                automaton.add_edge(src, match_ids[(position + 1, edits)])
+            if edits + 1 <= distance:
+                # Insertion: consume any symbol without advancing.
+                automaton.add_edge(src, insert_ids[(position, edits + 1)])
+                # Substitution: consume any symbol in place of P[position+1].
+                if position + 1 < length:
+                    automaton.add_edge(src, insert_ids[(position + 1, edits + 1)])
+        # Insertion column: wildcard states that can hold position through
+        # runs of noise, re-entrant as in the ANMLZoo machines.
+        for edits in range(1, distance + 1):
+            src = insert_ids[(position, edits)]
+            if position + 1 < length:
+                automaton.add_edge(src, match_ids[(position + 1, edits)])
+            if edits + 1 <= distance:
+                automaton.add_edge(src, insert_ids[(position, edits + 1)])
+
+    # Close the wildcard core into a single directed ring spanning every
+    # insertion column.  Together with the match<->insert edges this merges
+    # most of the machine into one SCC — the "large SCC" signature the paper
+    # attributes to LV (Fig 8), which blocks topological partitioning.
+    ring = [insert_ids[(p, e)] for p in range(length) for e in range(1, distance + 1)]
+    for src, dst in zip(ring, ring[1:] + ring[:1]):
+        automaton.add_edge(src, dst)
+    return automaton
+
+
+def levenshtein_network(
+    n_nfas: int,
+    seed: int,
+    *,
+    pattern_length: int = 24,
+    distance: int = 3,
+    alphabet: bytes = b"ACGT",
+    name: str = "levenshtein",
+) -> Network:
+    """The LV workload: a few edit-distance machines over random patterns."""
+    rng = np.random.default_rng(seed)
+    table = np.frombuffer(bytes(alphabet), dtype=np.uint8)
+    network = Network(name)
+    for index in range(n_nfas):
+        pattern = table[rng.integers(0, table.size, size=pattern_length)].tobytes()
+        network.add(
+            levenshtein_automaton(
+                pattern, distance, name=f"{name}#{index}", alphabet=alphabet
+            )
+        )
+    return network

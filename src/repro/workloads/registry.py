@@ -1,0 +1,805 @@
+"""The 26-application workload suite (ANMLZoo + Becchi Regex + the paper's
+three additions), as parameterized synthetic equivalents.
+
+Each :class:`AppSpec` records the paper's Table II statistics and builds a
+*scaled* network preserving the structural signature the paper's mechanisms
+depend on: the ratio of application size to AP capacity (so baseline batch
+counts match Table IV), per-NFA depth and shape, SCC structure, symbol-set
+selectivity (which sets the hot fraction, Fig 1, and its depth profile,
+Fig 5), cross-NFA sharing (simultaneous intermediate reports, Table IV),
+and start-state kind (Fermi and SPM are start-of-data, paper footnote 2).
+
+The default ``scale=16`` divides state counts and capacities by 16: a 24K
+half-core becomes 1,536 STEs and, e.g., ClamAV4k's 1.12M states become 70K,
+keeping ``ceil(S/C)`` — and therefore every speedup ratio — intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..nfa.automaton import Network, StartKind
+from ..nfa.symbolset import SymbolSet
+from .er import er_network
+from .generators import (
+    ClassChainSpec,
+    class_chain_network,
+    class_of_width,
+    patterns_network,
+    representative_match,
+    tree_network,
+)
+from .hamming import hamming_network
+from .inputs import plant, token_stream, uniform_bytes
+from .levenshtein import levenshtein_network
+
+__all__ = ["PaperStats", "AppSpec", "APPS", "app_names", "get_app", "DEFAULT_SCALE"]
+
+DEFAULT_SCALE = 16
+
+#: Printable-ASCII alphabet used by text/traffic workloads.
+ASCII = bytes(range(32, 127))
+DNA = b"ACGT"
+#: 20-letter amino-acid alphabet (Protomata).
+PROTEIN = b"ACDEFGHIKLMNPQRSTVWY"
+
+#: Nominal test-input length used when converting a hot-depth target into a
+#: class width; actual inputs within ~4x of this keep the shape.
+NOMINAL_INPUT = 4096
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Table II row (plus Table IV baseline executions where reported)."""
+
+    states: int
+    nfas: int
+    max_topo: int
+    rstates: int
+    baseline_execs: Optional[int] = None
+
+
+@dataclass
+class AppSpec:
+    """One evaluated application: how to build it and feed it."""
+
+    abbr: str
+    full_name: str
+    group: str  # "high" | "medium" | "low"
+    paper: PaperStats
+    description: str
+    builder: Callable[["AppSpec", int], Network]  # (spec, scale) -> Network
+    input_builder: Callable[["AppSpec", Network, int, int], bytes]
+    start_of_data: bool = False  # excluded from Table I, full input used (§IV-A)
+
+    def seed(self, salt: str = "") -> int:
+        digest = hashlib.sha256(f"{self.abbr}:{salt}".encode()).digest()
+        return int.from_bytes(digest[:4], "little")
+
+    def build(self, scale: int = DEFAULT_SCALE) -> Network:
+        network = self.builder(self, scale)
+        network.name = self.abbr
+        return network
+
+    def make_input(self, network: Network, length: int, seed: Optional[int] = None) -> bytes:
+        actual_seed = self.seed("input") if seed is None else seed
+        return self.input_builder(self, network, length, actual_seed)
+
+    def scaled_states(self, scale: int) -> int:
+        return max(1, round(self.paper.states / scale))
+
+    def scaled_nfas(self, scale: int, per_nfa: float) -> int:
+        return max(2, round(self.paper.states / scale / per_nfa))
+
+
+# -- shared helpers --------------------------------------------------------------
+
+
+def _width_for_depth(depth_target: float, alphabet_size: int = 256,
+                     input_len: int = NOMINAL_INPUT) -> int:
+    """Class width making activation penetrate ~``depth_target`` layers.
+
+    A chain state at depth ``d`` is ever-enabled with probability about
+    ``min(1, n * q^(d-1))`` for per-state match probability ``q``; solving
+    ``n * q^(d-1) = 1`` gives the width below.
+    """
+    if depth_target <= 1.0:
+        return 1
+    q = math.exp(-math.log(input_len) / (depth_target - 1.0))
+    return max(1, min(alphabet_size, round(q * alphabet_size)))
+
+
+def _anchored_width(hot_fraction: float, length: int, alphabet_size: int = 256) -> int:
+    """Class width for start-of-data chains hitting a target hot fraction.
+
+    Anchored chains get exactly one activation trial, so the expected hot
+    fraction is ``(1 - q^L) / (L * (1 - q))``; solved by bisection.
+    """
+    def hot(q: float) -> float:
+        if q >= 1.0:
+            return 1.0
+        return (1.0 - q ** length) / (length * (1.0 - q))
+
+    lo, hi = 0.0, 1.0
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if hot(mid) < hot_fraction:
+            lo = mid
+        else:
+            hi = mid
+    return max(1, min(alphabet_size, round(hi * alphabet_size)))
+
+
+def _tokens(rng: np.random.Generator, count: int, length: int, alphabet: bytes) -> List[bytes]:
+    table = np.frombuffer(bytes(alphabet), dtype=np.uint8)
+    return [
+        table[rng.integers(0, table.size, size=length)].tobytes() for _ in range(count)
+    ]
+
+
+def _plant_representatives(network: Network, data: bytes, n_plants: int, seed: int) -> bytes:
+    """Plant full matches of a few NFAs into both halves of the input.
+
+    One occurrence goes near the very start so that even short profiling
+    prefixes see a positive sample, as a deployed rule set's calibration
+    corpus would contain known positives.
+    """
+    rng = np.random.default_rng(seed)
+    reps = []
+    indices = rng.permutation(network.n_automata)[: max(1, n_plants)]
+    for index in indices:
+        rep = representative_match(network.automata[int(index)], rng)
+        if rep:
+            reps.append(rep)
+    if not reps:
+        return data
+    half = len(data) // 2
+    first = bytearray(plant(data[:half], reps, seed + 1))
+    lead = reps[0]
+    if len(lead) + 8 <= len(first):
+        first[8 : 8 + len(lead)] = lead
+    second = plant(data[half:], reps, seed + 2)
+    return bytes(first) + second
+
+
+def _uniform_input(spec: AppSpec, network: Network, length: int, seed: int,
+                   alphabet: Optional[bytes] = None, n_plants: int = 4) -> bytes:
+    data = uniform_bytes(length, seed, alphabet)
+    return _plant_representatives(network, data, n_plants, seed)
+
+
+def _token_input(spec: AppSpec, network: Network, length: int, seed: int,
+                 token_count: int, token_len: int = 4, noise: float = 0.3,
+                 alphabet: bytes = ASCII, n_plants: int = 4) -> bytes:
+    rng = np.random.default_rng(spec.seed("tokens"))
+    tokens = _tokens(rng, token_count, token_len, alphabet)
+    data = token_stream(length, seed, tokens, noise=noise, noise_alphabet=alphabet)
+    return _plant_representatives(network, data, n_plants, seed)
+
+
+def _pattern_lengths(rng: np.random.Generator, n: int, mean: float, sigma: float,
+                     low: int, high: int) -> List[int]:
+    """Log-normal-ish rule lengths clipped to [low, high]."""
+    mu = math.log(mean) - 0.5 * sigma ** 2
+    raw = np.exp(rng.normal(mu, sigma, size=n))
+    return [int(min(high, max(low, round(v)))) for v in raw]
+
+
+def _random_patterns(rng: np.random.Generator, lengths: List[int], alphabet: bytes) -> List[bytes]:
+    table = np.frombuffer(bytes(alphabet), dtype=np.uint8)
+    return [table[rng.integers(0, table.size, size=l)].tobytes() for l in lengths]
+
+
+def _token_patterns(rng: np.random.Generator, lengths: List[int], tokens: List[bytes]) -> List[bytes]:
+    """Rule contents assembled from the shared token dictionary."""
+    out = []
+    for length in lengths:
+        buf = bytearray()
+        while len(buf) < length:
+            buf.extend(tokens[rng.integers(0, len(tokens))])
+        out.append(bytes(buf[:length]))
+    return out
+
+
+# -- builders, one per application family ------------------------------------------
+
+
+def _lengths_to_budget(rng: np.random.Generator, target: int, mean: float,
+                       sigma: float, low: int, high: int) -> List[int]:
+    """Draw rule lengths until they sum to the scaled state budget, so the
+    build hits the paper's S/C ratio exactly (DESIGN.md §6)."""
+    lengths: List[int] = []
+    total = 0
+    while total < target:
+        (length,) = _pattern_lengths(rng, 1, mean, sigma, low, high)
+        length = min(length, max(low, target - total)) if total + length > target else length
+        lengths.append(length)
+        total += length
+    return lengths
+
+
+def _build_clamav(spec: AppSpec, scale: int, mean_len: float, sigma: float,
+                  high: int, wildcard_prob: float) -> Network:
+    rng = np.random.default_rng(spec.seed("build"))
+    lengths = _lengths_to_budget(rng, spec.scaled_states(scale), mean_len, sigma, 24, high)
+    patterns = _random_patterns(rng, lengths, bytes(range(256)))
+    return patterns_network(
+        patterns, name=spec.abbr, wildcard_prob=wildcard_prob, seed=spec.seed("net")
+    )
+
+
+def _build_snort(spec: AppSpec, scale: int, mean_len: float, deep_len: int,
+                 deep_fraction: float, token_count: int) -> Network:
+    rng = np.random.default_rng(spec.seed("build"))
+    tokens = _tokens(np.random.default_rng(spec.seed("tokens")), token_count, 4, ASCII)
+    target = spec.scaled_states(scale)
+    # Set aside the deep counting rules first (they define MaxTopo), then
+    # fill the remaining state budget with ordinary rules.  At very small
+    # scales the deep rules shrink so they never eat the whole budget.
+    deep_len = min(deep_len, max(int(mean_len), target // 4))
+    n_deep = max(1, int(deep_fraction * target / mean_len))
+    while n_deep > 1 and n_deep * deep_len > target // 2:
+        n_deep -= 1
+    lengths = [deep_len] * n_deep + _lengths_to_budget(
+        rng, max(2 * int(mean_len), target - n_deep * deep_len), mean_len, 0.5, 6, deep_len
+    )
+    patterns = _token_patterns(rng, lengths, tokens)
+    return patterns_network(
+        patterns, name=spec.abbr, class_prob=0.2, class_width=12, alphabet=ASCII,
+        mid_report_prob=0.55, seed=spec.seed("net"),
+    )
+
+
+def _build_gapped_chains(spec: AppSpec, scale: int, *, items: int, item_width: int,
+                         anchored: bool, final_width: int = 3) -> Network:
+    """Alternating item-class / universal-gap chains (SPM, PowerEN style).
+
+    Each gap state has a self-loop: once a prefix of items is seen, the gap
+    holds the match open, so downstream states stay enabled from then on —
+    this yields SPM/PEN's flood of spread-out intermediate reports and their
+    near-zero SpAP JumpRatio (Table IV).
+    """
+    rng = np.random.default_rng(spec.seed("build"))
+    target = spec.scaled_states(scale)
+    network = Network(spec.abbr)
+    from ..nfa.automaton import Automaton
+
+    start = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+    per_nfa = 2 * items - 1
+    index = 0
+    while network.n_states + per_nfa <= target or index < 2:
+        automaton = Automaton(f"{spec.abbr}#{index}")
+        index += 1
+        previous = None
+        for item in range(items):
+            is_final = item == items - 1
+            sid = automaton.add_state(
+                class_of_width(rng, final_width if is_final else item_width),
+                start=start if item == 0 else StartKind.NONE,
+                reporting=is_final,
+                report_code=f"{spec.abbr}#{index}" if is_final else None,
+            )
+            if previous is not None:
+                automaton.add_edge(previous, sid)
+            if item < items - 1:
+                gap = automaton.add_state(SymbolSet.universal())
+                automaton.add_edge(sid, gap)
+                automaton.add_edge(gap, gap)
+                previous = gap
+            else:
+                previous = sid
+        network.add(automaton)
+    return network
+
+
+def _build_shared_prefix_chains(spec: AppSpec, scale: int, *, length: int,
+                                depth_target: float, group_size: int,
+                                shared_prefix: int, alphabet: Optional[bytes]) -> Network:
+    """Chain families in groups sharing identical prefixes (Brill).
+
+    Shared prefixes synchronize partial matches across a whole group, so
+    boundary crossings arrive as simultaneous intermediate reports — the
+    enable-stall signature of Brill (Table IV).
+    """
+    alphabet_size = len(alphabet) if alphabet else 256
+    width = _width_for_depth(depth_target, alphabet_size)
+    target = spec.scaled_states(scale)
+    rng = np.random.default_rng(spec.seed("build"))
+    network = Network(spec.abbr)
+    from ..nfa.automaton import Automaton
+
+    built = 0
+    while network.n_states + length <= target or built < 2:
+        members = group_size
+        shared = [class_of_width(rng, width, alphabet) for _ in range(shared_prefix)]
+        for _member in range(members):
+            if network.n_states + length > target and built >= 2:
+                break
+            automaton = Automaton(f"{spec.abbr}#{built}")
+            previous = None
+            for depth in range(length):
+                if depth < shared_prefix:
+                    symbol_set = shared[depth]
+                else:
+                    symbol_set = class_of_width(rng, width, alphabet)
+                sid = automaton.add_state(
+                    symbol_set,
+                    start=StartKind.ALL_INPUT if depth == 0 else StartKind.NONE,
+                    reporting=depth == length - 1,
+                    report_code=f"{spec.abbr}#{built}" if depth == length - 1 else None,
+                )
+                if previous is not None:
+                    automaton.add_edge(previous, sid)
+                previous = sid
+            network.add(automaton)
+            built += 1
+    return network
+
+
+def _build_pen(spec: AppSpec, scale: int, *, prefix_len: int = 3,
+               prefix_width: int = 78, body_len: int = 16,
+               body_width: int = 128, group_size: int = 40) -> Network:
+    """PowerEN: the paper's SpAP slowdown case (Table IV, Fig 10a).
+
+    Every NFA in a group shares a wide prefix (which opens quickly), a
+    universal self-looping gap state (which holds the match open forever
+    after), and a *body* of half-wide states.  Because the gap is
+    permanently active once opened, the body state just past the partition
+    boundary activates at a per-cycle rate of ``(body_width/256)^j``
+    regardless of where the boundary lands — and its intermediate copy fires
+    at every such cycle, simultaneously across the whole group (identical
+    shared symbol-sets).  The resulting flood of intermediate reports and
+    enable stalls is what makes BaseAP/SpAP *slower* than the baseline for
+    this application, exactly the paper's PEN anomaly.
+    """
+    rng = np.random.default_rng(spec.seed("build"))
+    target = spec.scaled_states(scale)
+    network = Network(spec.abbr)
+    from ..nfa.automaton import Automaton
+
+    per_nfa = prefix_len + 1 + body_len
+    built = 0
+    while network.n_states + per_nfa <= target or built < 2:
+        members = group_size
+        shared_prefix = [class_of_width(rng, prefix_width) for _ in range(prefix_len)]
+        shared_body = [class_of_width(rng, body_width) for _ in range(body_len)]
+        for _member in range(members):
+            if network.n_states + per_nfa > target and built >= 2:
+                break
+            automaton = Automaton(f"{spec.abbr}#{built}")
+            previous = None
+            for depth, symbol_set in enumerate(shared_prefix):
+                sid = automaton.add_state(
+                    symbol_set,
+                    start=StartKind.ALL_INPUT if depth == 0 else StartKind.NONE,
+                )
+                if previous is not None:
+                    automaton.add_edge(previous, sid)
+                previous = sid
+            gap = automaton.add_state(SymbolSet.universal(), label="gap")
+            automaton.add_edge(previous, gap)
+            automaton.add_edge(gap, gap)
+            previous = gap
+            for offset, symbol_set in enumerate(shared_body):
+                reporting = offset == body_len - 1
+                sid = automaton.add_state(
+                    symbol_set,
+                    reporting=reporting,
+                    report_code=f"{spec.abbr}#{built}" if reporting else None,
+                )
+                automaton.add_edge(previous, sid)
+                previous = sid
+            network.add(automaton)
+            built += 1
+    return network
+
+
+def _build_class_chains(spec: AppSpec, scale: int, *, length_mean: float,
+                        length_sigma: float, depth_target: float,
+                        alphabet: Optional[bytes], range_fraction: float = 1.0,
+                        anchored: bool = False,
+                        anchored_hot: Optional[float] = None) -> Network:
+    alphabet_size = len(alphabet) if alphabet else 256
+    if anchored and anchored_hot is not None:
+        width = _anchored_width(anchored_hot, int(length_mean), alphabet_size)
+    else:
+        width = _width_for_depth(depth_target, alphabet_size)
+
+    def length_draw(rng: np.random.Generator) -> int:
+        return max(2, int(round(rng.normal(length_mean, length_sigma))))
+
+    def width_draw(rng: np.random.Generator) -> int:
+        if range_fraction < 1.0 and rng.random() > range_fraction:
+            return 1
+        return max(1, int(round(rng.normal(width, max(1.0, width * 0.2)))))
+
+    spec_chains = ClassChainSpec(
+        n_nfas=spec.scaled_nfas(scale, length_mean),
+        length=length_draw,
+        width=width_draw,
+        alphabet=alphabet,
+        start=StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT,
+        name=spec.abbr,
+    )
+    return class_chain_network(spec_chains, spec.seed("net"))
+
+
+def _build_dotstar(spec: AppSpec, scale: int, *, per_nfa: float, prefix_mean: int,
+                   dotstar_fraction: float) -> Network:
+    from .generators import dotstar_network
+
+    rng_lengths = per_nfa - prefix_mean - 1
+
+    return dotstar_network(
+        spec.scaled_nfas(scale, per_nfa),
+        prefix_len=lambda rng: max(2, int(rng.normal(prefix_mean, 2))),
+        suffix_len=lambda rng: max(2, int(rng.normal(rng_lengths, 4))),
+        dotstar_fraction=dotstar_fraction,
+        seed=spec.seed("net"),
+        alphabet=ASCII,
+        name=spec.abbr,
+    )
+
+
+def _build_hamming(spec: AppSpec, scale: int) -> Network:
+    return hamming_network(
+        seed=spec.seed("net"), target_states=spec.scaled_states(scale), name=spec.abbr
+    )
+
+
+def _build_trees(spec: AppSpec, scale: int) -> Network:
+    # RF trees: 7 leaf chains of depth 3 = 21 states per NFA (MaxTopo 3).
+    return tree_network(
+        spec.scaled_nfas(scale, 21),
+        depth=3,
+        leaves=7,
+        width=lambda rng: int(rng.integers(200, 246)),
+        seed=spec.seed("net"),
+        name=spec.abbr,
+    )
+
+
+def _build_er(spec: AppSpec, scale: int) -> Network:
+    return er_network(spec.scaled_nfas(scale, 95), spec.seed("net"), states_per_nfa=95,
+                      name=spec.abbr)
+
+
+def _build_levenshtein(spec: AppSpec, scale: int) -> Network:
+    # lev(24, 3) has 24*4 + 24*3 = 168 states; paper LV: 2784/24 = 116 per NFA.
+    target = spec.scaled_states(scale)
+    pattern_length, distance = 24, 3
+    if 2 * 168 > target:
+        # Tiny scales: shrink the machines instead of dropping below 2 NFAs.
+        distance = 2
+        pattern_length = max(4, target // (2 * (2 * distance + 1)))
+    per_nfa = pattern_length * (2 * distance + 1)
+    n_nfas = max(2, round(target / per_nfa))
+    return levenshtein_network(n_nfas, spec.seed("net"), pattern_length=pattern_length,
+                               distance=distance, name=spec.abbr)
+
+
+# -- input builders -----------------------------------------------------------------
+
+
+def _in_uniform(alphabet: Optional[bytes] = None, n_plants: int = 4):
+    def build(spec: AppSpec, network: Network, length: int, seed: int) -> bytes:
+        return _uniform_input(spec, network, length, seed, alphabet, n_plants)
+
+    return build
+
+
+def _in_tokens(token_count: int, noise: float = 0.3, n_plants: int = 4):
+    def build(spec: AppSpec, network: Network, length: int, seed: int) -> bytes:
+        return _token_input(
+            spec, network, length, seed, token_count, noise=noise, n_plants=n_plants
+        )
+
+    return build
+
+
+# -- the registry ----------------------------------------------------------------------
+
+
+def _make_apps() -> Dict[str, AppSpec]:
+    apps: List[AppSpec] = [
+        AppSpec(
+            abbr="CAV4k",
+            full_name="ClamAV4000",
+            group="high",
+            paper=PaperStats(1124947, 4000, 2080, 4015, baseline_execs=47),
+            description="4,000 ClamAV-style virus signatures: very long literal "
+                        "byte chains; benign traffic leaves ~99% of states cold.",
+            builder=lambda spec, scale: _build_clamav(spec, scale, 281.0, 0.55, 700, 0.02),
+            input_builder=_in_uniform(n_plants=3),
+        ),
+        AppSpec(
+            abbr="HM1500",
+            full_name="Hamming1500",
+            group="high",
+            paper=PaperStats(366000, 3000, 32, 6000, baseline_execs=15),
+            description="Bounded-mismatch (BMIA) automata, lengths 8/12/20/30 with "
+                        "20% distance, random DNA input.",
+            builder=_build_hamming,
+            input_builder=_in_uniform(DNA, n_plants=4),
+        ),
+        AppSpec(
+            abbr="HM1000",
+            full_name="Hamming1000",
+            group="high",
+            paper=PaperStats(244000, 2000, 32, 4000, baseline_execs=10),
+            description="As HM1500 with 2/3 of the machines.",
+            builder=_build_hamming,
+            input_builder=_in_uniform(DNA, n_plants=4),
+        ),
+        AppSpec(
+            abbr="Snort_L",
+            full_name="Snort_big",
+            group="high",
+            paper=PaperStats(132171, 3126, 4509, 4043, baseline_execs=6),
+            description="3,126 Snort community+registered rules: token-built "
+                        "contents plus a tail of very deep counting rules.",
+            builder=lambda spec, scale: _build_snort(spec, scale, 30.0, 280, 0.02, 48),
+            input_builder=_in_tokens(48),
+        ),
+        AppSpec(
+            abbr="HM500",
+            full_name="Hamming500",
+            group="high",
+            paper=PaperStats(122000, 1000, 32, 2000, baseline_execs=5),
+            description="As HM1500 with 1/3 of the machines.",
+            builder=_build_hamming,
+            input_builder=_in_uniform(DNA, n_plants=4),
+        ),
+        AppSpec(
+            abbr="SPM",
+            full_name="SequentialPatternMining",
+            group="high",
+            paper=PaperStats(100500, 5025, 16, 5025, baseline_execs=5),
+            description="Frequent-sequence queries: anchored item classes with "
+                        "self-looping gap states ('A then eventually B').",
+            builder=lambda spec, scale: _build_gapped_chains(
+                spec, scale, items=10, item_width=214, anchored=True
+            ),
+            input_builder=_in_uniform(n_plants=0),
+            start_of_data=True,
+        ),
+        AppSpec(
+            abbr="DS",
+            full_name="Dotstar",
+            group="high",
+            paper=PaperStats(96438, 2837, 95, 2838, baseline_execs=4),
+            description="prefix.*suffix rules over ASCII; random prefixes rarely "
+                        "complete, so deep states stay cold and predictable.",
+            builder=lambda spec, scale: _build_dotstar(
+                spec, scale, per_nfa=34, prefix_mean=8, dotstar_fraction=0.5
+            ),
+            input_builder=_in_uniform(ASCII, n_plants=3),
+        ),
+        AppSpec(
+            abbr="ER",
+            full_name="EntityResolution",
+            group="high",
+            paper=PaperStats(95136, 1000, 64, 1000, baseline_execs=4),
+            description="Name-matching machines with large cyclic token cores: "
+                        "hot states do not correlate with depth, and the SCCs "
+                        "block partitioning (paper Fig 8).",
+            builder=_build_er,
+            input_builder=_in_uniform(n_plants=2),
+        ),
+        AppSpec(
+            abbr="RF1",
+            full_name="RandomForest1",
+            group="high",
+            paper=PaperStats(75340, 3767, 3, 3767, baseline_execs=4),
+            description="Decision-tree leaf chains of depth 3 over wide feature "
+                        "intervals: nearly every state runs hot.",
+            builder=_build_trees,
+            input_builder=_in_uniform(n_plants=0),
+        ),
+        AppSpec(
+            abbr="Snort",
+            full_name="Snort",
+            group="high",
+            paper=PaperStats(69029, 2687, 133, 4166, baseline_execs=3),
+            description="ANMLZoo Snort subset: shallower rules than Snort_big.",
+            builder=lambda spec, scale: _build_snort(spec, scale, 24.0, 120, 0.02, 40),
+            input_builder=_in_tokens(40),
+        ),
+        AppSpec(
+            abbr="CAV",
+            full_name="ClamAV",
+            group="high",
+            paper=PaperStats(49538, 515, 542, 515, baseline_execs=3),
+            description="ANMLZoo ClamAV subset: 515 long signatures.",
+            builder=lambda spec, scale: _build_clamav(spec, scale, 96.0, 0.5, 560, 0.02),
+            input_builder=_in_uniform(n_plants=2),
+        ),
+        AppSpec(
+            abbr="Brill",
+            full_name="Brill",
+            group="medium",
+            paper=PaperStats(42658, 1962, 38, 1962, baseline_execs=2),
+            description="Brill tagger rules over a text alphabet; groups share "
+                        "rule prefixes, so boundary crossings arrive together "
+                        "(enable stalls, Table IV).",
+            builder=lambda spec, scale: _build_shared_prefix_chains(
+                spec, scale, length=22, depth_target=10.0, group_size=8,
+                shared_prefix=14, alphabet=ASCII,
+            ),
+            input_builder=_in_tokens(24, noise=0.2),
+        ),
+        AppSpec(
+            abbr="Pro",
+            full_name="Protomata",
+            group="medium",
+            paper=PaperStats(42009, 2340, 123, 2365, baseline_execs=2),
+            description="Protein motif chains over the 20-letter amino-acid "
+                        "alphabet.",
+            builder=lambda spec, scale: _build_class_chains(
+                spec, scale, length_mean=18.0, length_sigma=6.0, depth_target=7.0,
+                alphabet=PROTEIN,
+            ),
+            input_builder=_in_uniform(PROTEIN, n_plants=4),
+        ),
+        AppSpec(
+            abbr="Fermi",
+            full_name="Fermi",
+            group="medium",
+            paper=PaperStats(40783, 2399, 13, 2399, baseline_execs=2),
+            description="Particle-track matching: start-of-data anchored chains "
+                        "of wide hit windows.",
+            builder=lambda spec, scale: _build_class_chains(
+                spec, scale, length_mean=17.0, length_sigma=2.0, depth_target=0.0,
+                alphabet=None, anchored=True, anchored_hot=0.93,
+            ),
+            input_builder=_in_uniform(n_plants=0),
+            start_of_data=True,
+        ),
+        AppSpec(
+            abbr="PEN",
+            full_name="PowerEN",
+            group="medium",
+            paper=PaperStats(40513, 2857, 44, 3456, baseline_execs=2),
+            description="PowerEN rule groups share prefixes AND hold matches open "
+                        "through gap states: floods of simultaneous intermediate "
+                        "reports make SpAP stall (the paper's slowdown case).",
+            builder=lambda spec, scale: _build_pen(spec, scale),
+            input_builder=_in_uniform(n_plants=2),
+        ),
+        AppSpec(
+            abbr="RF2",
+            full_name="RandomForest2",
+            group="medium",
+            paper=PaperStats(33220, 1661, 3, 1661, baseline_execs=2),
+            description="A smaller random forest.",
+            builder=_build_trees,
+            input_builder=_in_uniform(n_plants=0),
+        ),
+        AppSpec(
+            abbr="TCP",
+            full_name="TCP",
+            group="low",
+            paper=PaperStats(19704, 738, 100, 767),
+            description="Becchi TCP-flow rules over token traffic.",
+            builder=lambda spec, scale: _build_snort(spec, scale, 27.0, 95, 0.02, 36),
+            input_builder=_in_tokens(36),
+        ),
+        AppSpec(
+            abbr="DS06",
+            full_name="Dotstar06",
+            group="low",
+            paper=PaperStats(12640, 298, 104, 300),
+            description="Becchi synthetic: 60% of rules contain .*.",
+            builder=lambda spec, scale: _build_dotstar(
+                spec, scale, per_nfa=42, prefix_mean=9, dotstar_fraction=0.6
+            ),
+            input_builder=_in_uniform(ASCII, n_plants=2),
+        ),
+        AppSpec(
+            abbr="Rg05",
+            full_name="Ranges05",
+            group="low",
+            paper=PaperStats(12621, 299, 94, 299),
+            description="Becchi synthetic: half the states are character ranges.",
+            builder=lambda spec, scale: _build_class_chains(
+                spec, scale, length_mean=42.0, length_sigma=8.0, depth_target=9.0,
+                alphabet=ASCII, range_fraction=0.5,
+            ),
+            input_builder=_in_uniform(ASCII, n_plants=2),
+        ),
+        AppSpec(
+            abbr="Rg1",
+            full_name="Ranges1",
+            group="low",
+            paper=PaperStats(12464, 297, 96, 297),
+            description="Becchi synthetic: every state is a character range.",
+            builder=lambda spec, scale: _build_class_chains(
+                spec, scale, length_mean=42.0, length_sigma=8.0, depth_target=11.0,
+                alphabet=ASCII, range_fraction=1.0,
+            ),
+            input_builder=_in_uniform(ASCII, n_plants=2),
+        ),
+        AppSpec(
+            abbr="EM",
+            full_name="ExactMatch",
+            group="low",
+            paper=PaperStats(12439, 297, 87, 297),
+            description="Becchi synthetic: exact-match strings over token traffic.",
+            builder=lambda spec, scale: _build_snort(spec, scale, 42.0, 85, 0.01, 44),
+            input_builder=_in_tokens(44),
+        ),
+        AppSpec(
+            abbr="DS09",
+            full_name="Dotstar09",
+            group="low",
+            paper=PaperStats(12431, 297, 104, 300),
+            description="Becchi synthetic: 90% of rules contain .*.",
+            builder=lambda spec, scale: _build_dotstar(
+                spec, scale, per_nfa=42, prefix_mean=9, dotstar_fraction=0.9
+            ),
+            input_builder=_in_uniform(ASCII, n_plants=2),
+        ),
+        AppSpec(
+            abbr="DS03",
+            full_name="Dotstar03",
+            group="low",
+            paper=PaperStats(12144, 299, 92, 300),
+            description="Becchi synthetic: 30% of rules contain .*.",
+            builder=lambda spec, scale: _build_dotstar(
+                spec, scale, per_nfa=41, prefix_mean=9, dotstar_fraction=0.3
+            ),
+            input_builder=_in_uniform(ASCII, n_plants=2),
+        ),
+        AppSpec(
+            abbr="HM",
+            full_name="Hamming",
+            group="low",
+            paper=PaperStats(11346, 93, 20, 186),
+            description="ANMLZoo Hamming: a small BMIA set.",
+            builder=lambda spec, scale: hamming_network(
+                seed=spec.seed("net"), target_states=spec.scaled_states(scale),
+                lengths=(12, 20, 30), name=spec.abbr,
+            ),
+            input_builder=_in_uniform(DNA, n_plants=2),
+        ),
+        AppSpec(
+            abbr="LV",
+            full_name="Levenshtein",
+            group="low",
+            paper=PaperStats(2784, 24, 23, 96),
+            description="Edit-distance machines whose re-entrant wildcard core "
+                        "forms one large SCC (no useful partition, Fig 8).",
+            builder=_build_levenshtein,
+            input_builder=_in_uniform(DNA, n_plants=2),
+        ),
+        AppSpec(
+            abbr="Bro217",
+            full_name="Bro217",
+            group="low",
+            paper=PaperStats(2312, 187, 84, 187),
+            description="Bro IDS rules: short token contents.",
+            builder=lambda spec, scale: _build_snort(spec, scale, 12.0, 80, 0.01, 64),
+            input_builder=_in_tokens(64),
+        ),
+    ]
+    return {app.abbr: app for app in apps}
+
+
+APPS: Dict[str, AppSpec] = _make_apps()
+
+
+def app_names() -> List[str]:
+    """All 26 application abbreviations in Table II order."""
+    return list(APPS)
+
+
+def get_app(abbr: str) -> AppSpec:
+    try:
+        return APPS[abbr]
+    except KeyError:
+        raise KeyError(f"unknown application {abbr!r}; known: {', '.join(APPS)}") from None

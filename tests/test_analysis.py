@@ -1,0 +1,171 @@
+"""Tests for SCC condensation and topological ordering."""
+
+import random
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+
+from repro.nfa.analysis import (
+    analyze_automaton,
+    analyze_network,
+    depth_buckets,
+    strongly_connected_components,
+)
+from repro.nfa.automaton import Automaton, Network, StartKind
+from repro.nfa.build import literal_chain
+from repro.nfa.symbolset import SymbolSet
+
+from helpers import random_automaton, random_network, seeds
+
+
+def _chain(n):
+    return literal_chain(bytes(b"a" * n), name="chain")
+
+
+class TestSCC:
+    def test_chain_all_singletons(self):
+        automaton = _chain(5)
+        topology = analyze_automaton(automaton)
+        assert topology.n_sccs == 5
+        assert (topology.scc_size == 1).all()
+
+    def test_two_cycle(self):
+        """The paper's Fig 4: S4 and S5 form one SCC sharing an order."""
+        a = Automaton("fig4")
+        sym = SymbolSet.single("a")
+        ids = [a.add_state(sym, start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE) for i in range(6)]
+        edges = [(0, 1), (1, 2), (0, 3), (3, 4), (4, 3), (2, 5), (4, 5)]
+        for src, dst in edges:
+            a.add_edge(ids[src], ids[dst])
+        topology = analyze_automaton(a)
+        assert topology.scc_id[3] == topology.scc_id[4]
+        assert topology.topo_order[3] == topology.topo_order[4]
+
+    def test_self_loop_is_cycle_of_one(self):
+        a = _chain(3)
+        a.add_edge(1, 1)
+        topology = analyze_automaton(a)
+        # Self loop keeps singleton SCC but the state is still ordered.
+        assert topology.n_sccs == 3
+        assert topology.topo_order.tolist() == [1, 2, 3]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=rng.randint(2, 15))
+        scc = strongly_connected_components(automaton.n_states, automaton.successors)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(automaton.n_states))
+        graph.add_edges_from(automaton.edges())
+        expected = {frozenset(c) for c in nx.strongly_connected_components(graph)}
+        ours = {}
+        for state, component in enumerate(scc):
+            ours.setdefault(component, set()).add(state)
+        assert {frozenset(c) for c in ours.values()} == expected
+
+
+class TestTopoOrder:
+    def test_chain_orders(self):
+        topology = analyze_automaton(_chain(4))
+        assert topology.topo_order.tolist() == [1, 2, 3, 4]
+        assert topology.max_order == 4
+
+    def test_start_state_is_layer_one(self):
+        topology = analyze_automaton(_chain(3))
+        assert topology.topo_order[0] == 1
+
+    def test_diamond_longest_path(self):
+        """Topological order is the *maximum* steps from a start (§III-A)."""
+        a = Automaton("diamond")
+        sym = SymbolSet.single("a")
+        s0 = a.add_state(sym, start=StartKind.ALL_INPUT)
+        s1 = a.add_state(sym)
+        s2 = a.add_state(sym)
+        s3 = a.add_state(sym, reporting=True, report_code="r")
+        a.add_edge(s0, s1)
+        a.add_edge(s1, s2)
+        a.add_edge(s0, s3)
+        a.add_edge(s2, s3)
+        topology = analyze_automaton(a)
+        assert topology.topo_order[s3] == 4  # via the long path, not the short one
+
+    def test_fig4_orders(self):
+        """Full check of the paper's Fig 4 worked example."""
+        a = Automaton("fig4")
+        sym = SymbolSet.single("a")
+        for i in range(6):
+            a.add_state(sym, start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE)
+        for src, dst in [(0, 1), (1, 2), (0, 3), (3, 4), (4, 3), (2, 5), (4, 5)]:
+            a.add_edge(src, dst)
+        topology = analyze_automaton(a)
+        # S1=1; S2=2; S3=3; S4=S5=2 (one SCC); S6=4.
+        assert topology.topo_order.tolist() == [1, 2, 3, 2, 2, 4]
+        assert topology.max_order == 4
+        depths = topology.normalized_depth
+        assert depths[0] == 0.25
+        assert depths[3] == 0.5
+        assert depths[5] == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_edges_never_decrease_order_across_sccs(self, seed):
+        """Matching proceeds from lower to higher order; crossing edges go one way."""
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=rng.randint(2, 15))
+        topology = analyze_automaton(automaton)
+        for src, dst in automaton.edges():
+            if topology.scc_id[src] != topology.scc_id[dst]:
+                assert topology.topo_order[src] < topology.topo_order[dst]
+            else:
+                assert topology.topo_order[src] == topology.topo_order[dst]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_orders_start_at_one(self, seed):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng)
+        topology = analyze_automaton(automaton)
+        assert topology.topo_order.min() >= 1
+        assert topology.topo_order.max() == topology.max_order
+
+
+class TestNetworkTopology:
+    def test_concatenation(self):
+        network = Network("n")
+        network.add(_chain(3))
+        network.add(_chain(5))
+        topology = analyze_network(network)
+        assert topology.topo_order.tolist() == [1, 2, 3, 1, 2, 3, 4, 5]
+        assert topology.max_topo == 5
+
+    def test_normalized_depth_per_automaton(self):
+        network = Network("n")
+        network.add(_chain(2))
+        network.add(_chain(4))
+        topology = analyze_network(network)
+        assert topology.normalized_depth[1] == 1.0  # end of short chain
+        assert topology.normalized_depth[2] == 0.25  # head of long chain
+
+    def test_empty_network(self):
+        topology = analyze_network(Network("empty"))
+        assert topology.max_topo == 0
+        assert topology.topo_order.size == 0
+
+
+class TestDepthBuckets:
+    def test_buckets_partition(self):
+        buckets = depth_buckets([0.1, 0.2, 0.4, 0.9, 1.0])
+        assert buckets["shallow"] == 0.4
+        assert buckets["medium"] == 0.2
+        assert buckets["deep"] == 0.4
+        assert abs(sum(buckets.values()) - 1.0) < 1e-12
+
+    def test_empty(self):
+        assert sum(depth_buckets([]).values()) == 0.0
+
+    def test_boundaries(self):
+        buckets = depth_buckets([0.3, 0.6])
+        assert buckets["medium"] == 0.5
+        assert buckets["deep"] == 0.5

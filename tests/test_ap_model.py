@@ -1,0 +1,162 @@
+"""Tests for the AP architecture model: config, batching, placement."""
+
+import numpy as np
+import pytest
+
+from repro.ap import (
+    FULL_CHIP,
+    HALF_CORE,
+    QUARTER_CORE,
+    APConfig,
+    batch_network,
+    decode_state_id,
+    encode_address,
+    min_batches,
+    pack_batches,
+    place_network,
+    slice_network,
+)
+from repro.ap.chip import STEAddress, enable_decoder_widths
+from repro.nfa.automaton import Network
+from repro.nfa.build import literal_chain
+
+
+class TestAPConfig:
+    def test_half_core_defaults(self):
+        assert HALF_CORE.capacity == 24576
+        assert HALF_CORE.cycle_ns == 7.5
+        assert HALF_CORE.routing_stes == 96 * 16 * 16 == 24576
+
+    def test_presets(self):
+        assert FULL_CHIP.capacity == 2 * HALF_CORE.capacity
+        assert QUARTER_CORE.capacity == HALF_CORE.capacity // 2
+
+    def test_report_queue_bytes(self):
+        assert HALF_CORE.report_queue_bytes == 128 * 6  # §V-B storage estimate
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            APConfig(capacity=0)
+
+    def test_capacity_beyond_routing_rejected(self):
+        with pytest.raises(ValueError):
+            APConfig(capacity=25000)  # > 96*256 with default blocks
+
+    def test_with_capacity_scales_routing(self):
+        scaled = HALF_CORE.with_capacity(50000)
+        assert scaled.capacity == 50000
+        assert scaled.routing_stes >= 50000
+
+    def test_cycles_to_seconds(self):
+        assert HALF_CORE.cycles_to_seconds(1_000_000) == pytest.approx(7.5e-3)
+
+
+class TestPackBatches:
+    def test_single_batch(self):
+        assert pack_batches([5, 5, 5], 20) == [[0, 1, 2]]
+
+    def test_splits_when_needed(self):
+        bins = pack_batches([10, 10, 10], 20)
+        assert len(bins) == 2
+        assert sorted(i for b in bins for i in b) == [0, 1, 2]
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(ValueError):
+            pack_batches([30], 20)
+
+    def test_first_fit_decreasing_efficiency(self):
+        # FFD packs [8,7,6,5,4] into capacity 15 in 2 bins: (8+7), (6+5+4).
+        assert len(pack_batches([8, 7, 6, 5, 4], 15)) == 2
+
+    def test_deterministic(self):
+        sizes = [3, 9, 1, 7, 5]
+        assert pack_batches(sizes, 10) == pack_batches(sizes, 10)
+
+    def test_empty(self):
+        assert pack_batches([], 10) == []
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            pack_batches([1], 0)
+
+
+class TestSliceNetwork:
+    def _network(self):
+        network = Network("n")
+        network.add(literal_chain(b"ab", name="p0"))
+        network.add(literal_chain(b"cde", name="p1"))
+        network.add(literal_chain(b"f", name="p2"))
+        return network
+
+    def test_global_ids(self):
+        network = self._network()
+        s = slice_network(network, [1])
+        assert s.global_ids.tolist() == [2, 3, 4]
+        assert s.n_states == 3
+
+    def test_multi_automata_slice(self):
+        network = self._network()
+        s = slice_network(network, [0, 2])
+        assert s.global_ids.tolist() == [0, 1, 5]
+
+    def test_report_mapping(self):
+        network = self._network()
+        s = slice_network(network, [1])
+        local_reports = np.array([[4, 2]])  # local state 2 = global 4
+        assert s.to_parent_reports(local_reports).tolist() == [[4, 4]]
+
+    def test_batch_network_covers_all(self):
+        network = self._network()
+        batches = batch_network(network, capacity=3)
+        covered = sorted(g for b in batches for g in b.global_ids.tolist())
+        assert covered == list(range(network.n_states))
+
+    def test_min_batches(self):
+        assert min_batches(100, 24) == 5
+        assert min_batches(1, 24) == 1
+        assert min_batches(24, 24) == 1
+        assert min_batches(25, 24) == 2
+
+
+class TestChip:
+    def test_decode_encode_round_trip(self):
+        for sid in [0, 15, 16, 255, 256, 24575]:
+            address = decode_state_id(sid, HALF_CORE)
+            assert encode_address(address, HALF_CORE) == sid
+
+    def test_decode_fields(self):
+        address = decode_state_id(0x1234, HALF_CORE)
+        assert address.block == 0x12
+        assert address.row == 0x3
+        assert address.ste == 0x4
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_state_id(96 * 256, HALF_CORE)  # block 96 of 0..95
+
+    def test_decoder_widths(self):
+        # Paper §V-B: block, row, STE decoders over a 16-bit state id.
+        assert enable_decoder_widths(HALF_CORE) == [7, 4, 4]
+
+    def test_place_network(self):
+        network = Network("n")
+        network.add(literal_chain(b"abc"))
+        placement = place_network(network, HALF_CORE)
+        assert placement.n_states == 3
+        assert placement.utilization == pytest.approx(3 / 24576)
+        assert placement.address_of(0) == STEAddress(0, 0, 0)
+        assert placement.address_of(2).ste == 2
+
+    def test_place_overflow_rejected(self):
+        network = Network("n")
+        network.add(literal_chain(b"ab" * 3))
+        with pytest.raises(ValueError):
+            place_network(network, HALF_CORE.with_capacity(4))
+
+    def test_placement_row_major(self):
+        network = Network("n")
+        big = literal_chain(bytes([65] * 40), name="big")
+        network.add(big)
+        placement = place_network(network, HALF_CORE)
+        assert placement.address_of(16) == STEAddress(0, 1, 0)
+        assert placement.address_of(17) == STEAddress(0, 1, 1)

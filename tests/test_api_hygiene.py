@@ -1,0 +1,58 @@
+"""API hygiene: exports resolve, modules are documented, version sane."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _pkg in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.startswith("repro.__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_importable_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro",
+        "repro.bitops",
+        "repro.nfa",
+        "repro.sim",
+        "repro.ap",
+        "repro.core",
+        "repro.workloads",
+        "repro.experiments",
+    ],
+)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{module_name} declares no public API"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version():
+    major, _minor, _patch = repro.__version__.split(".")
+    assert int(major) >= 1
+
+
+def test_public_symbols_documented():
+    """Every function/class exported from the top packages carries a docstring."""
+    import inspect
+
+    for module_name in ["repro.nfa", "repro.sim", "repro.ap", "repro.core"]:
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

@@ -1,0 +1,143 @@
+"""Tests for the NFA data model and construction helpers."""
+
+import pytest
+
+from repro.nfa.automaton import Automaton, Network, StartKind
+from repro.nfa.build import add_chain, literal_chain, self_loop_prefix, symbolset_chain
+from repro.nfa.symbolset import SymbolSet
+
+
+class TestAutomaton:
+    def test_add_state_and_edges(self):
+        a = Automaton("t")
+        s0 = a.add_state(SymbolSet.single("a"), start=StartKind.ALL_INPUT)
+        s1 = a.add_state(SymbolSet.single("b"), reporting=True, report_code="r")
+        a.add_edge(s0, s1)
+        assert a.n_states == 2
+        assert a.n_edges == 1
+        assert a.successors(s0) == (s1,)
+        assert a.successors(s1) == ()
+
+    def test_edge_idempotent(self):
+        a = literal_chain(b"ab")
+        a.add_edge(0, 1)
+        a.add_edge(0, 1)
+        assert a.n_edges == 1
+
+    def test_bad_edge_rejected(self):
+        a = literal_chain(b"ab")
+        with pytest.raises(IndexError):
+            a.add_edge(0, 9)
+        with pytest.raises(IndexError):
+            a.state(-1)
+
+    def test_predecessors_map(self):
+        a = literal_chain(b"abc")
+        a.add_edge(0, 2)
+        preds = a.predecessors_map()
+        assert preds[0] == []
+        assert preds[1] == [0]
+        assert sorted(preds[2]) == [0, 1]
+
+    def test_copy_independent(self):
+        a = literal_chain(b"ab")
+        b = a.copy("b")
+        b.add_state(SymbolSet.single("z"))
+        assert a.n_states == 2
+        assert b.n_states == 3
+        assert b.name == "b"
+
+    def test_induced_remaps(self):
+        a = literal_chain(b"abcd")
+        sub, mapping = a.induced([1, 2])
+        assert sub.n_states == 2
+        assert mapping == {1: 0, 2: 1}
+        assert sub.successors(0) == (1,)
+
+    def test_induced_drops_cross_edges(self):
+        a = literal_chain(b"abcd")
+        sub, _ = a.induced([0, 2])
+        assert sub.n_edges == 0
+
+    def test_validate_no_states(self):
+        with pytest.raises(ValueError):
+            Automaton("empty").validate()
+
+    def test_validate_no_start(self):
+        a = Automaton("t")
+        a.add_state(SymbolSet.single("a"))
+        with pytest.raises(ValueError):
+            a.validate()
+
+    def test_edges_iterator(self):
+        a = literal_chain(b"abc")
+        assert list(a.edges()) == [(0, 1), (1, 2)]
+
+
+class TestNetwork:
+    def _net(self):
+        network = Network("n")
+        network.add(literal_chain(b"ab", name="p0"))
+        network.add(literal_chain(b"cde", name="p1"))
+        return network
+
+    def test_offsets_and_global_id(self):
+        network = self._net()
+        assert network.offsets() == [0, 2]
+        assert network.global_id(1, 2) == 4
+
+    def test_locate_round_trip(self):
+        network = self._net()
+        for gid in range(network.n_states):
+            a_index, sid = network.locate(gid)
+            assert network.global_id(a_index, sid) == gid
+
+    def test_locate_out_of_range(self):
+        network = self._net()
+        with pytest.raises(IndexError):
+            network.locate(5)
+        with pytest.raises(IndexError):
+            network.locate(-1)
+
+    def test_global_states_order(self):
+        network = self._net()
+        gids = [gid for gid, _a, _s in network.global_states()]
+        assert gids == list(range(5))
+
+    def test_counts(self):
+        network = self._net()
+        assert network.n_states == 5
+        assert network.n_edges == 3
+        assert network.reporting_count() == 2
+        assert network.start_count() == 2
+
+    def test_repr(self):
+        assert "states=5" in repr(self._net())
+
+
+class TestBuilders:
+    def test_literal_chain_from_str(self):
+        a = literal_chain("xy")
+        assert a.state(0).symbol_set.matches("x")
+
+    def test_symbolset_chain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            symbolset_chain([])
+
+    def test_add_chain_appends(self):
+        a = literal_chain(b"ab")
+        tail = add_chain(a, 1, [SymbolSet.single("c")], reporting_tail=True)
+        assert a.n_states == 3
+        assert a.state(tail).reporting
+        assert a.successors(1) == (2,)
+
+    def test_add_chain_empty_noop(self):
+        a = literal_chain(b"ab")
+        tail = add_chain(a, 1, [])
+        assert tail == 1
+        assert a.n_states == 2
+
+    def test_self_loop_prefix(self):
+        a = literal_chain(b"ab")
+        self_loop_prefix(a, 0)
+        assert (0, 0) in list(a.edges())

@@ -1,0 +1,88 @@
+"""Unit and property tests for the packed bitset kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import bitops
+
+
+class TestNumWords:
+    def test_zero_bits(self):
+        assert bitops.num_words(0) == 0
+
+    def test_exact_word(self):
+        assert bitops.num_words(64) == 1
+
+    def test_one_over(self):
+        assert bitops.num_words(65) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.num_words(-1)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        words = bitops.empty(100)
+        assert not bitops.any_set(words)
+        assert bitops.popcount(words) == 0
+        assert bitops.to_indices(words).size == 0
+
+    def test_single_bit(self):
+        words = bitops.from_indices([63], 128)
+        assert bitops.test_index(words, 63)
+        assert not bitops.test_index(words, 62)
+        assert not bitops.test_index(words, 64)
+        assert bitops.to_indices(words).tolist() == [63]
+
+    def test_word_boundary_bits(self):
+        indices = [0, 63, 64, 127, 128]
+        words = bitops.from_indices(indices, 200)
+        assert bitops.to_indices(words).tolist() == indices
+
+    def test_set_then_clear(self):
+        words = bitops.empty(70)
+        bitops.set_indices(words, [3, 68])
+        bitops.clear_indices(words, [3])
+        assert bitops.to_indices(words).tolist() == [68]
+
+    def test_duplicates_idempotent(self):
+        words = bitops.from_indices([5, 5, 5], 64)
+        assert bitops.popcount(words) == 1
+
+    def test_bool_round_trip(self):
+        mask = np.zeros(130, dtype=bool)
+        mask[[0, 1, 64, 129]] = True
+        words = bitops.from_bool(mask)
+        assert np.array_equal(bitops.to_bool(words, 130), mask)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=299), unique=True, max_size=50),
+    st.integers(min_value=300, max_value=400),
+)
+def test_from_indices_to_indices_round_trip(indices, n_bits):
+    words = bitops.from_indices(indices, n_bits)
+    assert bitops.to_indices(words).tolist() == sorted(indices)
+    assert bitops.popcount(words) == len(indices)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=199), unique=True, max_size=30),
+    st.lists(st.integers(min_value=0, max_value=199), unique=True, max_size=30),
+)
+def test_or_matches_set_union(left, right):
+    a = bitops.from_indices(left, 200)
+    b = bitops.from_indices(right, 200)
+    assert bitops.to_indices(a | b).tolist() == sorted(set(left) | set(right))
+    assert bitops.to_indices(a & b).tolist() == sorted(set(left) & set(right))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), unique=True, max_size=20))
+def test_bool_conversion_matches(indices):
+    words = bitops.from_indices(indices, 101)
+    mask = bitops.to_bool(words, 101)
+    assert np.array_equal(bitops.from_bool(mask), words)
+    assert sorted(np.flatnonzero(mask).tolist()) == sorted(indices)

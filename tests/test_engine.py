@@ -1,0 +1,208 @@
+"""Tests for the fast bit-parallel engine against the reference engine."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import bitops
+from repro.nfa.automaton import Automaton, Network, StartKind
+from repro.nfa.build import literal_chain
+from repro.nfa.symbolset import SymbolSet
+from repro.sim import compile_network, reference_run, run, run_events
+from repro.sim.result import reports_equal
+
+from helpers import input_lengths, random_input, random_network, seeds
+
+
+def _single(automaton) -> Network:
+    network = Network("t")
+    network.add(automaton)
+    return network
+
+
+class TestFastEngineBasics:
+    def test_paper_example(self):
+        """Fig 2: a((bc)|(cd)+)f over 'abcf' reports at the final f."""
+        from repro.nfa.regex import compile_regex
+
+        network = _single(compile_regex("a((bc)|(cd)+)f"))
+        result = run(compile_network(network), b"abcf")
+        assert result.reports.shape[0] == 1
+        assert result.reports[0, 0] == 3
+
+    def test_no_match(self):
+        network = _single(literal_chain(b"abc"))
+        result = run(compile_network(network), b"xyz")
+        assert result.reports.size == 0
+
+    def test_overlapping_matches(self):
+        network = _single(literal_chain(b"aa"))
+        result = run(compile_network(network), b"aaaa")
+        assert result.reports[:, 0].tolist() == [1, 2, 3]
+
+    def test_empty_input(self):
+        network = _single(literal_chain(b"abc"))
+        result = run(compile_network(network), b"")
+        assert result.cycles == 0
+        assert result.reports.size == 0
+        assert result.hot_count() == 0
+
+    def test_cycles_equal_input_length(self):
+        network = _single(literal_chain(b"ab"))
+        assert run(compile_network(network), b"qwerty").cycles == 6
+
+    def test_start_of_data_only_matches_at_zero(self):
+        network = _single(literal_chain(b"ab", start=StartKind.START_OF_DATA))
+        result = run(compile_network(network), b"abab")
+        assert result.reports[:, 0].tolist() == [1]
+
+    def test_hot_set_includes_starts(self):
+        network = _single(literal_chain(b"abc"))
+        result = run(compile_network(network), b"zzz")
+        assert result.hot_indices().tolist() == [0]
+        assert result.hot_fraction() == pytest.approx(1 / 3)
+
+    def test_hot_set_grows_with_matching_prefix(self):
+        network = _single(literal_chain(b"abc"))
+        result = run(compile_network(network), b"abz")
+        # 'a' activates s0 enabling s1; 'b' activates s1 enabling s2.
+        assert result.hot_indices().tolist() == [0, 1, 2]
+
+
+class TestEquivalenceWithReference:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, input_lengths)
+    def test_reports_and_hot_sets_match(self, seed, length):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, length)
+        fast = run(compile_network(network), data)
+        ref = reference_run(network, data)
+        assert reports_equal(fast.reports, ref.reports)
+        assert np.array_equal(fast.ever_enabled, ref.ever_enabled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, input_lengths)
+    def test_start_of_data_networks(self, seed, length):
+        rng = random.Random(seed)
+        network = random_network(rng, start=StartKind.START_OF_DATA)
+        data = random_input(rng, length)
+        fast = run(compile_network(network), data)
+        ref = reference_run(network, data)
+        assert reports_equal(fast.reports, ref.reports)
+
+
+class TestRunEvents:
+    def _cold_chain(self):
+        """A chain with NO start states: only events can enable it."""
+        automaton = Automaton("cold")
+        for index, char in enumerate(b"abc"):
+            automaton.add_state(
+                SymbolSet.single(char), reporting=index == 2, report_code="hit"
+            )
+        automaton.add_edge(0, 1)
+        automaton.add_edge(1, 2)
+        network = Network("cold-net")
+        network.add(automaton)
+        return network
+
+    def test_no_events_consumes_nothing(self):
+        network = self._cold_chain()
+        outcome = run_events(compile_network(network), b"abcabc", [])
+        assert outcome.consumed_cycles == 0
+        assert outcome.total_cycles == 0
+        assert outcome.reports.size == 0
+
+    def test_jump_skips_idle_prefix(self):
+        network = self._cold_chain()
+        outcome = run_events(compile_network(network), b"zzzzabc", [(4, 0)])
+        assert outcome.jumps == 1
+        assert outcome.consumed_cycles == 3  # positions 4, 5, 6
+        assert outcome.reports.tolist() == [[6, 2]]
+
+    def test_event_matches_reference_injection(self):
+        network = self._cold_chain()
+        data = b"xxabcxx"
+        events = [(2, 0)]
+        fast = run_events(compile_network(network), data, events)
+        ref = reference_run(network, data, events=events)
+        assert reports_equal(fast.reports, ref.reports)
+
+    def test_simultaneous_events_stall(self):
+        network = self._cold_chain()
+        outcome = run_events(
+            compile_network(network), b"abc", [(0, 0), (0, 1), (0, 2)]
+        )
+        assert outcome.stall_cycles == 2  # 3 simultaneous enables -> 2 stalls
+
+    def test_stalls_can_be_disabled(self):
+        network = self._cold_chain()
+        outcome = run_events(
+            compile_network(network), b"abc", [(0, 0), (0, 1)], count_stalls=False
+        )
+        assert outcome.stall_cycles == 0
+
+    def test_event_beyond_input_ignored(self):
+        network = self._cold_chain()
+        outcome = run_events(compile_network(network), b"abc", [(3, 0)])
+        assert outcome.consumed_cycles == 0
+        assert outcome.reports.size == 0
+
+    def test_jump_ratio(self):
+        network = self._cold_chain()
+        outcome = run_events(compile_network(network), b"zzzzzzza", [(7, 0)])
+        assert outcome.consumed_cycles == 1
+        assert outcome.jump_ratio() == pytest.approx(7 / 8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, input_lengths)
+    def test_random_events_match_reference(self, seed, length):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, length)
+        n = network.n_states
+        events = sorted(
+            (rng.randrange(max(1, length)), rng.randrange(n))
+            for _ in range(rng.randint(0, 5))
+            if length > 0
+        )
+        fast = run_events(compile_network(network), data, events)
+        ref = reference_run(network, data, events=events)
+        assert reports_equal(fast.reports, ref.reports)
+
+
+class TestCompiledNetwork:
+    def test_accept_matrix_shape(self):
+        network = _single(literal_chain(b"ab"))
+        compiled = compile_network(network)
+        assert compiled.accept.shape == (256, compiled.n_words)
+
+    def test_accept_matrix_contents(self):
+        network = _single(literal_chain(b"ab"))
+        compiled = compile_network(network)
+        assert bitops.to_indices(compiled.accept[ord("a")]).tolist() == [0]
+        assert bitops.to_indices(compiled.accept[ord("b")]).tolist() == [1]
+
+    def test_csr_successors(self):
+        network = _single(literal_chain(b"abc"))
+        compiled = compile_network(network)
+        assert compiled.successors_of(np.array([0])).tolist() == [1]
+        assert compiled.successors_of(np.array([0, 1])).tolist() == [1, 2]
+        assert compiled.successors_of(np.array([2])).size == 0
+
+    def test_global_id_offsets(self):
+        network = Network("two")
+        network.add(literal_chain(b"ab"))
+        network.add(literal_chain(b"cd"))
+        compiled = compile_network(network)
+        # Second automaton's head accepts 'c' and is state 2.
+        assert bitops.to_indices(compiled.accept[ord("c")]).tolist() == [2]
+        assert compiled.successors_of(np.array([2])).tolist() == [3]
+
+    def test_report_codes(self):
+        network = _single(literal_chain(b"ab", report_code="R1"))
+        compiled = compile_network(network)
+        assert compiled.report_codes[1] == "R1"
+        assert compiled.report_codes[0] is None

@@ -1,0 +1,161 @@
+"""Tests for the experiment harness (config, pipeline, figure functions).
+
+Runs on a tiny configuration (1/64 scale, 512-byte inputs) and an app
+subset so the full figure machinery is exercised quickly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    clear_cache,
+    default_config,
+    fig01_hot_states,
+    fig05_depth_distribution,
+    fig08_constrained_states,
+    fig10_speedup_and_savings,
+    get_run,
+    render_table,
+    table1_profiling_effectiveness,
+)
+from repro.experiments.tables import format_value
+
+TINY = ExperimentConfig(scale=64, input_len=512)
+SUBSET = ["Bro217", "LV", "DS03", "RF2"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestConfig:
+    def test_scaled_capacities(self):
+        cfg = ExperimentConfig(scale=16)
+        assert cfg.half_core.capacity == 1536
+        assert cfg.small_core.capacity == 768
+        assert cfg.large_core.capacity == 3072
+
+    def test_scale_one_is_paper_size(self):
+        cfg = ExperimentConfig(scale=1)
+        assert cfg.half_core.capacity == 24576
+
+    def test_ap_sizes_labels(self):
+        labels = [label for label, _cfg in ExperimentConfig().ap_sizes()]
+        assert labels == ["12K", "24K", "49K"]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(input_len=10)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "32")
+        monkeypatch.setenv("REPRO_INPUT", "4096")
+        cfg = default_config()
+        assert cfg.scale == 32
+        assert cfg.input_len == 4096
+
+    def test_env_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INPUT", raising=False)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_config().input_len == 65536
+
+
+class TestPipeline:
+    def test_run_is_cached(self):
+        a = get_run("Bro217", TINY)
+        b = get_run("Bro217", TINY)
+        assert a is b
+
+    def test_network_built_once(self):
+        run = get_run("Bro217", TINY)
+        assert run.network is run.network
+
+    def test_input_split(self):
+        run = get_run("Bro217", TINY)
+        assert len(run.entire_input) == 512
+        assert len(run.test_input) == 256
+        assert len(run.profile_input(0.01)) == 5
+
+    def test_start_of_data_uses_entire_input(self):
+        run = get_run("Fermi", TINY)
+        assert len(run.test_input) == 512
+
+    def test_truth_and_profile(self):
+        run = get_run("Bro217", TINY)
+        assert 0.0 < run.hot_fraction() <= 1.0
+        profile = run.profile(0.01)
+        # The profile's hot set is a subset of prefix behaviour; both valid masks.
+        assert profile.hot_mask().shape == (run.network.n_states,)
+
+    def test_speedup_at_least_captures_baseline(self):
+        run = get_run("Bro217", TINY)
+        speedup = run.spap_speedup(0.01, TINY.half_core)
+        assert speedup > 0.0
+
+    def test_partition_cache_key_includes_capacity(self):
+        run = get_run("Bro217", TINY)
+        p1, _ = run.partition(0.01, TINY.half_core)
+        p2, _ = run.partition(0.01, TINY.small_core)
+        assert p1 is not p2
+
+
+class TestFigureFunctions:
+    def test_fig01_subset(self):
+        result = fig01_hot_states(TINY, apps=SUBSET)
+        assert len(result.rows) == 4
+        assert "avg_cold_pct" in result.summary
+        hots = [row[2] for row in result.rows]
+        assert hots == sorted(hots)  # ascending, like the paper's figure
+
+    def test_fig05_subset(self):
+        result = fig05_depth_distribution(TINY, apps=SUBSET)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row[1] + row[2] + row[3] == pytest.approx(100.0, abs=0.5)
+
+    def test_table1_excludes_start_of_data(self):
+        result = table1_profiling_effectiveness(TINY, apps=["Bro217", "Fermi", "SPM"])
+        # Fermi/SPM dropped; still 4 fraction rows over the remaining app.
+        assert len(result.rows) == 4
+
+    def test_fig08_subset(self):
+        result = fig08_constrained_states(TINY, apps=SUBSET)
+        for row in result.rows:
+            assert row[1] <= row[2]  # perfect hot <= topo hot
+
+    def test_fig10_subset(self):
+        result = fig10_speedup_and_savings(TINY, apps=["Bro217", "DS03"])
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[3] > 0 and row[4] > 0
+            assert 0.0 <= row[5] <= 100.0
+
+    def test_render(self):
+        result = fig01_hot_states(TINY, apps=["Bro217"])
+        text = result.render()
+        assert "Bro217" in text
+        assert "avg_cold_pct" in text
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["A", "Long"], [[1, 2.5], ["xx", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(1.234) == "1.23"
+        assert format_value(12.34) == "12.3"
+        assert format_value(123.4) == "123"
+        assert format_value(float("nan")) == "-"
+        assert format_value("x") == "x"

@@ -1,0 +1,103 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    geometric_mean,
+    performance_per_ste,
+    prediction_quality,
+    speedup,
+    throughput,
+)
+
+
+class TestGeometricMean:
+    def test_single(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=10))
+    def test_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestSpeedupThroughput:
+    def test_speedup(self):
+        assert speedup(100, 50) == 2.0
+
+    def test_slowdown(self):
+        assert speedup(50, 100) == 0.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+    def test_throughput(self):
+        assert throughput(1000, 2000) == 0.5
+
+    def test_performance_per_ste(self):
+        # 1 symbol/cycle on a 24K-STE half-core.
+        assert performance_per_ste(100, 100, 24576) == pytest.approx(1 / 24576)
+
+    def test_performance_per_ste_batching_penalty(self):
+        # 2 batches halve throughput, halving perf/STE.
+        full = performance_per_ste(100, 100, 24576)
+        batched = performance_per_ste(100, 200, 24576)
+        assert batched == pytest.approx(full / 2)
+
+
+class TestPredictionQuality:
+    def test_perfect(self):
+        actual = np.array([True, True, False, False])
+        q = prediction_quality(actual, actual)
+        assert q.accuracy == 1.0
+        assert q.recall == 1.0
+        assert q.precision == 1.0
+
+    def test_table1_definitions(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        q = prediction_quality(predicted, actual)
+        assert (q.true_positive, q.false_positive, q.false_negative, q.true_negative) == (
+            1, 1, 1, 1,
+        )
+        assert q.accuracy == 0.5
+        assert q.recall == 0.5
+        assert q.precision == 0.5
+
+    def test_no_hot_states(self):
+        predicted = np.zeros(4, dtype=bool)
+        actual = np.zeros(4, dtype=bool)
+        q = prediction_quality(predicted, actual)
+        assert q.accuracy == 1.0
+        assert q.recall == 1.0  # vacuous
+        assert q.precision == 1.0  # vacuous
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_quality(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_counts_partition_total(self, seed):
+        rng = np.random.default_rng(seed)
+        predicted = rng.random(50) < 0.5
+        actual = rng.random(50) < 0.5
+        q = prediction_quality(predicted, actual)
+        assert q.total == 50
+        assert 0.0 <= q.accuracy <= 1.0
+        assert 0.0 <= q.recall <= 1.0
+        assert 0.0 <= q.precision <= 1.0

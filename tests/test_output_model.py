@@ -1,0 +1,62 @@
+"""Tests for the output-reporting overhead model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.output_model import OutputModel, output_stalls
+
+
+class TestOutputStalls:
+    def test_empty(self):
+        assert output_stalls(np.empty((0, 2), dtype=np.int64)) == 0
+
+    def test_one_report_per_cycle_free(self):
+        reports = np.array([[0, 1], [1, 2], [2, 3]])
+        assert output_stalls(reports, 1) == 0
+
+    def test_burst_stalls(self):
+        reports = np.array([[5, 1], [5, 2], [5, 3]])
+        assert output_stalls(reports, 1) == 2
+
+    def test_wider_path_absorbs_burst(self):
+        reports = np.array([[5, 1], [5, 2], [5, 3]])
+        assert output_stalls(reports, 3) == 0
+        assert output_stalls(reports, 2) == 1
+
+    def test_mixed_positions(self):
+        reports = np.array([[0, 1], [0, 2], [7, 3], [7, 4], [7, 5]])
+        assert output_stalls(reports, 1) == 1 + 2
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            output_stalls(np.array([[0, 1]]), 0)
+
+    def test_model_wrapper(self):
+        model = OutputModel(reports_per_cycle=2)
+        reports = np.array([[3, 1], [3, 2], [3, 3]])
+        assert model.stall_cycles(reports) == 1
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            OutputModel(reports_per_cycle=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_matches_bruteforce(self, positions, bandwidth):
+        reports = np.array([[p, 0] for p in positions])
+        expected = 0
+        for p in set(positions):
+            k = positions.count(p)
+            expected += -(-k // bandwidth) - 1  # ceil(k/b) - 1
+        assert output_stalls(reports, bandwidth) == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60))
+    def test_wider_path_never_worse(self, positions):
+        reports = np.array([[p, 0] for p in positions])
+        narrow = output_stalls(reports, 1)
+        wide = output_stalls(reports, 4)
+        assert wide <= narrow

@@ -1,0 +1,118 @@
+"""Tests for the Parallel AP model."""
+
+import random
+
+import pytest
+
+from repro.ap import APConfig
+from repro.ap.parallel import run_parallel_ap
+from repro.core.scenarios import run_baseline_ap
+from repro.nfa.automaton import Network, StartKind
+from repro.nfa.build import literal_chain
+from repro.sim.result import reports_equal
+
+from helpers import random_input
+
+
+def _config(capacity):
+    return APConfig(capacity=capacity, blocks=max(1, (capacity + 255) // 256))
+
+
+def _chains_net(n, pattern=b"abcd"):
+    network = Network("n")
+    for index in range(n):
+        network.add(literal_chain(pattern, name=f"p{index}"))
+    return network
+
+
+class TestCorrectness:
+    def test_single_segment_equals_baseline(self):
+        network = _chains_net(3)
+        config = _config(100)
+        data = b"xxabcdxxabcdxx"
+        baseline = run_baseline_ap(network, data, config)
+        parallel = run_parallel_ap(network, data, config, 1)
+        assert reports_equal(baseline.reports, parallel.reports)
+        assert parallel.segment_cycles == len(data)
+
+    @pytest.mark.parametrize("segments", [2, 3, 5])
+    def test_segmented_reports_identical(self, segments):
+        network = _chains_net(4)
+        config = _config(1000)
+        rng = random.Random(9)
+        data = random_input(rng, 97, b"abcdxyz")
+        data = data[:10] + b"abcd" + data[14:50] + b"abcd" + data[54:]
+        baseline = run_baseline_ap(network, data, config)
+        parallel = run_parallel_ap(network, data, config, segments)
+        assert reports_equal(baseline.reports, parallel.reports)
+
+    def test_boundary_spanning_match_found(self):
+        """A match straddling the segment boundary is caught by the overlap."""
+        network = _chains_net(1, pattern=b"abcdef")
+        config = _config(100)
+        data = b"zz" * 10 + b"abcdef" + b"zz" * 10  # len 52; cut at 26 splits it
+        parallel = run_parallel_ap(network, data, config, 2)
+        assert parallel.reports.shape[0] == 1
+        assert parallel.reports[0, 0] == 25
+
+    def test_cyclic_without_overlap_rejected(self):
+        network = _chains_net(1)
+        network.automata[0].add_edge(1, 1)
+        with pytest.raises(ValueError):
+            run_parallel_ap(network, b"abcd", _config(100), 2)
+
+    def test_cyclic_with_explicit_overlap(self):
+        network = _chains_net(1)
+        network.automata[0].add_edge(0, 0)
+        outcome = run_parallel_ap(network, b"abcdabcd", _config(100), 2, overlap=8)
+        assert outcome.n_segments == 2
+
+    def test_start_of_data_rejected(self):
+        network = Network("n")
+        network.add(literal_chain(b"ab", start=StartKind.START_OF_DATA))
+        with pytest.raises(ValueError):
+            run_parallel_ap(network, b"abab", _config(100), 2)
+
+    def test_bad_segments(self):
+        with pytest.raises(ValueError):
+            run_parallel_ap(_chains_net(1), b"ab", _config(100), 0)
+
+
+class TestCostModel:
+    def test_footprint_multiplies_batches(self):
+        network = _chains_net(5)  # 20 states
+        config = _config(25)
+        serial = run_parallel_ap(network, b"x" * 40, config, 1)
+        parallel = run_parallel_ap(network, b"x" * 40, config, 4)
+        assert serial.n_batches == 1
+        assert parallel.n_batches >= 3  # 80 states over capacity 25
+
+    def test_segment_cycles_shrink_with_k(self):
+        network = _chains_net(2)
+        config = _config(1000)
+        data = b"x" * 120
+        one = run_parallel_ap(network, data, config, 1)
+        four = run_parallel_ap(network, data, config, 4)
+        assert four.segment_cycles < one.segment_cycles
+        assert four.segment_cycles >= 30  # n/k
+
+    def test_speedup_when_it_fits(self):
+        """If k copies still fit one batch, PAP gives ~k speedup."""
+        network = _chains_net(2)
+        config = _config(1000)
+        data = b"x" * 400
+        baseline = run_baseline_ap(network, data, config)
+        parallel = run_parallel_ap(network, data, config, 4)
+        assert parallel.n_batches == 1
+        assert baseline.cycles / parallel.cycles > 3.0
+
+    def test_no_speedup_when_batches_explode(self):
+        """The paper's point: duplication costs STEs; once the duplicated
+        footprint exceeds the chip, PAP's advantage collapses."""
+        network = _chains_net(6)  # 24 states
+        config = _config(25)
+        data = b"x" * 400
+        baseline = run_baseline_ap(network, data, config)
+        parallel = run_parallel_ap(network, data, config, 4)
+        assert parallel.n_batches >= 4
+        assert baseline.cycles / parallel.cycles < 1.5

@@ -1,0 +1,76 @@
+"""Tests for the report-queue model and the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.ap import HALF_CORE
+from repro.ap.queue import queue_usage
+
+
+class TestReportQueue:
+    def test_no_reports(self):
+        usage = queue_usage(0, HALF_CORE)
+        assert usage.refills == 0
+        assert usage.device_bytes == 0
+
+    def test_single_window(self):
+        usage = queue_usage(100, HALF_CORE)
+        assert usage.refills == 1
+        assert usage.device_bytes == 600
+
+    def test_exact_boundary(self):
+        assert queue_usage(128, HALF_CORE).refills == 1
+        assert queue_usage(129, HALF_CORE).refills == 2
+
+    def test_on_chip_budget_matches_paper(self):
+        usage = queue_usage(1, HALF_CORE)
+        assert usage.on_chip_bytes == 128 * 6  # §V-B storage estimate
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            queue_usage(-1, HALF_CORE)
+
+
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"PYTHONPATH": "src", "REPRO_SCALE": "64", "REPRO_INPUT": "1024",
+             "PATH": "/usr/bin:/bin"},
+        cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+    )
+
+
+class TestCLI:
+    def test_list_apps(self):
+        result = _cli("list-apps")
+        assert result.returncode == 0
+        assert "CAV4k" in result.stdout
+        assert "Bro217" in result.stdout
+
+    def test_run_app(self):
+        result = _cli("run-app", "Bro217")
+        assert result.returncode == 0
+        assert "baseline AP" in result.stdout
+        assert "BaseAP/SpAP" in result.stdout
+
+    def test_run_app_unknown(self):
+        result = _cli("run-app", "nope")
+        assert result.returncode == 2
+
+    def test_figure_unknown(self):
+        result = _cli("figure", "fig99")
+        assert result.returncode == 2
+
+    def test_figure_small(self):
+        result = _cli("figure", "table2")
+        assert result.returncode == 0
+        assert "Table II" in result.stdout
+
+    def test_no_command_errors(self):
+        result = _cli()
+        assert result.returncode != 0

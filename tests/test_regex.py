@@ -1,0 +1,150 @@
+"""Tests for the regex parser and Glushkov construction.
+
+The ground truth for matching semantics is Python's ``re``: our unanchored
+homogeneous NFA must report at position ``i`` exactly when some substring
+ending at ``i`` fully matches the pattern.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nfa.automaton import StartKind
+from repro.nfa.regex import RegexError, compile_regex, parse
+from repro.sim import reference_run
+
+
+def match_end_positions(pattern: str, text: str) -> set:
+    """Oracle: positions where some substring ending there matches fully."""
+    compiled = re.compile(pattern)
+    ends = set()
+    for end in range(1, len(text) + 1):
+        for start in range(end):
+            if compiled.fullmatch(text, start, end):
+                ends.add(end - 1)
+                break
+    return ends
+
+
+def nfa_end_positions(pattern: str, text: str) -> set:
+    automaton = compile_regex(pattern)
+    from repro.nfa.automaton import Network
+
+    network = Network("t")
+    network.add(automaton)
+    result = reference_run(network, text.encode())
+    return {int(position) for position, _gid in result.reports}
+
+
+CASES = [
+    ("abc", "xxabcxabc"),
+    ("a|b", "ab"),
+    ("ab|cd", "xabxcdx"),
+    ("a*b", "aaab b"),
+    ("a+b", "b aab"),
+    ("a?b", "ab b"),
+    ("(ab)+", "ababab"),
+    ("a(bc|de)f", "xabcf adef"),
+    ("[a-c]x", "ax bx cx dx"),
+    ("[^a]x", "ax bx"),
+    ("a.c", "abc axc a c"),
+    ("a{3}", "aaaa"),
+    ("a{2,4}b", "aab aaaab ab"),
+    ("a{2,}b", "ab aab aaaab"),
+    ("ab*c", "ac abc abbbc"),
+    ("(a|b)(c|d)", "ac bd bc"),
+    ("a((bc)|(cd)+)f", "xabcf acdcdf"),
+]
+
+
+@pytest.mark.parametrize("pattern,text", CASES)
+def test_matches_python_re(pattern, text):
+    assert nfa_end_positions(pattern, text) == match_end_positions(pattern, text)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a(", "a)", "[", "[]", "a{2,1}", "*a", "a|", "|a", "a\\x0", "a{99999}"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(RegexError):
+            parse(bad)
+
+    def test_nullable_pattern_rejected(self):
+        with pytest.raises(RegexError):
+            compile_regex("a*")
+
+    def test_nullable_alternation_rejected(self):
+        with pytest.raises(RegexError):
+            compile_regex("(a?)|(b?)")
+
+
+class TestEscapes:
+    def test_hex_escape(self):
+        automaton = compile_regex(r"\x41")
+        assert automaton.state(0).symbol_set.matches("A")
+
+    def test_digit_class(self):
+        automaton = compile_regex(r"\d")
+        assert automaton.state(0).symbol_set.matches("5")
+        assert not automaton.state(0).symbol_set.matches("a")
+
+    def test_escaped_metachar(self):
+        automaton = compile_regex(r"\.")
+        assert automaton.state(0).symbol_set.matches(".")
+        assert not automaton.state(0).symbol_set.matches("x")
+
+
+class TestStructure:
+    def test_state_count_literal(self):
+        assert compile_regex("abcd").n_states == 4
+
+    def test_counted_repeat_expands_states(self):
+        assert compile_regex("a{10}").n_states == 10
+        assert compile_regex("a{2,5}").n_states == 5
+
+    def test_unanchored_start_kind(self):
+        automaton = compile_regex("ab")
+        assert automaton.state(0).start is StartKind.ALL_INPUT
+
+    def test_anchored_start_kind(self):
+        automaton = compile_regex("ab", anchored=True)
+        assert automaton.state(0).start is StartKind.START_OF_DATA
+
+    def test_anchored_semantics(self):
+        from repro.nfa.automaton import Network
+
+        network = Network("t")
+        network.add(compile_regex("ab", anchored=True))
+        hits = reference_run(network, b"abab").reports
+        assert hits.tolist() == [[1, 1]]
+
+    def test_report_code_propagates(self):
+        automaton = compile_regex("ab", name="rule7", report_code="R7")
+        reporting = [s for s in automaton.states() if s.reporting]
+        assert all(s.report_code == "R7" for s in reporting)
+
+    def test_plus_loop_has_cycle(self):
+        from repro.nfa.analysis import analyze_automaton
+
+        automaton = compile_regex("x(ab)+y")
+        topology = analyze_automaton(automaton)
+        assert (topology.scc_size > 1).any()
+
+
+# Random fuzz: literal-ish patterns assembled from safe pieces.
+_pieces = st.sampled_from(["a", "b", "c", "ab", "a|b", "[ab]", "a?", "b+", "(ab)?", "c*", "a{2}"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_pieces, min_size=1, max_size=5), st.text(alphabet="abc", max_size=12))
+def test_random_patterns_match_re(pieces, text):
+    pattern = "".join(pieces)
+    try:
+        nfa_ends = nfa_end_positions(pattern, text)
+    except RegexError:
+        return  # nullable pattern; inexpressible by design
+    assert nfa_ends == match_end_positions(pattern, text)

@@ -1,0 +1,56 @@
+"""Tests for the EXPERIMENTS.md report generator (on a tiny app subset)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, clear_cache
+from repro.experiments import report as report_module
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture()
+def tiny_suite(monkeypatch):
+    """Shrink the registry view so a full report run stays fast."""
+    subset = ["Bro217", "LV", "DS03", "RF2", "SPM"]
+    monkeypatch.setattr(report_module, "_PAPER_NOTES", report_module._PAPER_NOTES)
+    import repro.experiments.figures as figures
+
+    monkeypatch.setattr(figures, "app_names", lambda: list(subset))
+    monkeypatch.setattr(
+        figures, "_apps_in",
+        lambda groups: [a for a in subset if figures.APPS[a].group in groups],
+    )
+    return subset
+
+
+def test_generate_report_structure(tiny_suite):
+    cfg = ExperimentConfig(scale=64, input_len=512)
+    text = report_module.generate_report(cfg)
+    assert text.startswith("# EXPERIMENTS")
+    # Every experiment section present.
+    for heading in (
+        "## Fig 1", "## Fig 5", "## Table I", "## Fig 8", "## Table II",
+        "## Fig 10", "## Fig 11", "## Fig 12", "## Table IV", "## Fig 13",
+    ):
+        assert heading in text, heading
+    # Paper comparison notes are embedded.
+    assert "59% of states are cold" in text
+    assert "scale 1/64" in text
+    # Rows for the subset apps appear.
+    for abbr in tiny_suite:
+        assert abbr in text
+
+
+def test_report_main_writes_file(tiny_suite, tmp_path, monkeypatch):
+    cfg = ExperimentConfig(scale=64, input_len=512)
+    monkeypatch.setattr(report_module, "default_config", lambda: cfg)
+    out = tmp_path / "EXP.md"
+    monkeypatch.setattr("sys.argv", ["report", str(out)])
+    report_module.main()
+    assert out.exists()
+    assert "# EXPERIMENTS" in out.read_text()

@@ -1,0 +1,177 @@
+"""End-to-end tests for the three execution scenarios and cycle accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ap import APConfig
+from repro.core.cpu_model import CPUCostModel
+from repro.core.scenarios import (
+    prepare_partition,
+    run_ap_cpu,
+    run_base_spap,
+    run_baseline_ap,
+    verify_equivalence,
+)
+from repro.nfa.automaton import Network
+from repro.nfa.build import literal_chain
+
+from helpers import random_input, random_network, seeds
+
+
+def _config(capacity: int) -> APConfig:
+    return APConfig(capacity=capacity, blocks=max(1, (capacity + 255) // 256))
+
+
+def _many_chains(n: int, pattern: bytes = b"abcdef") -> Network:
+    network = Network("many")
+    for index in range(n):
+        network.add(literal_chain(pattern, name=f"p{index}"))
+    return network
+
+
+class TestBaseline:
+    def test_single_batch(self):
+        network = _many_chains(2)
+        config = _config(100)
+        outcome = run_baseline_ap(network, b"xxabcdef", config)
+        assert outcome.n_batches == 1
+        assert outcome.cycles == 8
+        assert outcome.reports.shape[0] == 2  # both NFAs match once
+
+    def test_multi_batch_cycle_multiplication(self):
+        network = _many_chains(10)  # 60 states
+        config = _config(12)  # 2 NFAs per batch -> 5 batches
+        outcome = run_baseline_ap(network, b"abcdef", config)
+        assert outcome.n_batches == 5
+        assert outcome.cycles == 5 * 6
+
+    def test_seconds(self):
+        network = _many_chains(1)
+        config = _config(100)
+        outcome = run_baseline_ap(network, b"ab", config)
+        assert outcome.seconds(config) == pytest.approx(2 * 7.5e-9)
+
+
+class TestBaseSpAP:
+    def test_perfect_prediction_single_pass(self):
+        """With cold states never reached, SpAP consumes zero extra cycles."""
+        network = _many_chains(4)  # 24 states
+        config = _config(12)  # baseline: 2 batches
+        data = b"zzzz" * 8  # never matches beyond the start states
+        # Profile shows only layer 1 hot -> hot set = 4 starts + 4 intermediates.
+        partitioned, bins = prepare_partition(network, b"zzzz", config, fill=False)
+        outcome = run_base_spap(partitioned, data, config, bins)
+        assert outcome.n_hot_batches == 1
+        assert outcome.spap_cycles == 0
+        assert outcome.n_intermediate_reports == 0
+        baseline = run_baseline_ap(network, data, config)
+        assert verify_equivalence(baseline, outcome)
+        assert baseline.cycles / outcome.cycles == 2.0  # 2 batches -> 1
+
+    def test_mispredictions_handled(self):
+        """Cold states that do get enabled are recovered through SpAP."""
+        network = _many_chains(4)
+        config = _config(12)
+        profile_data = b"zzzz"  # predicts everything beyond starts cold
+        test_data = b"xxabcdefxx" * 2  # actually matches fully
+        partitioned, bins = prepare_partition(network, profile_data, config, fill=False)
+        outcome = run_base_spap(partitioned, test_data, config, bins)
+        baseline = run_baseline_ap(network, test_data, config)
+        assert outcome.n_intermediate_reports > 0
+        assert verify_equivalence(baseline, outcome)
+
+    def test_jump_ratio_counts_skips(self):
+        network = _many_chains(2, pattern=b"abcd")
+        config = _config(100)
+        profile_data = b"zz"
+        test_data = b"abcd" + b"z" * 60
+        partitioned, bins = prepare_partition(network, profile_data, config, fill=False)
+        outcome = run_base_spap(partitioned, test_data, config, bins)
+        ratio = outcome.jump_ratio()
+        assert ratio is not None
+        assert ratio > 0.9  # almost all of the input is skipped
+
+    def test_stalls_accumulate_for_simultaneous_reports(self):
+        # Two NFAs with identical patterns cross the boundary at the same
+        # position -> simultaneous intermediate reports -> 1 stall each time.
+        network = _many_chains(2, pattern=b"ab")
+        config = _config(100)
+        partitioned, bins = prepare_partition(network, b"zz", config, fill=False)
+        outcome = run_base_spap(partitioned, b"ababab", config, bins)
+        # Both cold parts live in one batch; events at same positions target
+        # different states -> stalls.
+        assert outcome.spap_stall_cycles > 0
+
+    def test_fill_optimization_absorbs_cold(self):
+        network = _many_chains(2)  # 12 states
+        config = _config(100)  # plenty of room
+        partitioned, bins = prepare_partition(network, b"zz", config, fill=True)
+        # Fill should pull every state hot: nothing cold remains.
+        assert partitioned.n_cold == 0
+        outcome = run_base_spap(partitioned, b"abcdef", config, bins)
+        baseline = run_baseline_ap(network, b"abcdef", config)
+        assert verify_equivalence(baseline, outcome)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_random_equivalence(self, seed):
+        rng = random.Random(seed)
+        network = random_network(rng, n_automata=rng.randint(1, 4))
+        capacity = max(a.n_states for a in network.automata) + rng.randint(0, 10)
+        config = _config(capacity)
+        profile_data = random_input(rng, rng.randint(1, 8))
+        test_data = random_input(rng, rng.randint(1, 40))
+        partitioned, bins = prepare_partition(network, profile_data, config)
+        baseline = run_baseline_ap(network, test_data, config)
+        spap = run_base_spap(partitioned, test_data, config, bins)
+        assert verify_equivalence(baseline, spap)
+        cpu = run_ap_cpu(partitioned, test_data, config, bins)
+        assert verify_equivalence(baseline, cpu)
+
+
+class TestAPCPU:
+    def test_cpu_time_charged_per_work(self):
+        network = _many_chains(2)
+        config = _config(100)
+        model = CPUCostModel(symbol_ns=100.0, report_ns=1000.0)
+        partitioned, bins = prepare_partition(network, b"zz", config, fill=False)
+        outcome = run_ap_cpu(partitioned, b"abcdefzz", config, bins, model)
+        assert outcome.mode == "cpu"
+        assert outcome.n_intermediate_reports == 2
+        assert outcome.cpu_seconds > 0
+        assert outcome.spap_cycles == 0
+
+    def test_no_reports_no_cpu_time(self):
+        network = _many_chains(2)
+        config = _config(100)
+        partitioned, bins = prepare_partition(network, b"zz", config, fill=False)
+        outcome = run_ap_cpu(partitioned, b"zzzz", config, bins)
+        assert outcome.cpu_seconds == 0.0
+
+    def test_seconds_combines_ap_and_cpu(self):
+        network = _many_chains(2)
+        config = _config(100)
+        model = CPUCostModel(symbol_ns=100.0, report_ns=1000.0)
+        partitioned, bins = prepare_partition(network, b"zz", config, fill=False)
+        outcome = run_ap_cpu(partitioned, b"abcdefzz", config, bins, model)
+        ap_seconds = config.cycles_to_seconds(outcome.base_cycles)
+        assert outcome.seconds(config) == pytest.approx(ap_seconds + outcome.cpu_seconds)
+
+
+class TestCPUCostModel:
+    def test_linear(self):
+        model = CPUCostModel(symbol_ns=100.0, report_ns=1000.0)
+        assert model.seconds(10, 2) == pytest.approx((1000 + 2000) * 1e-9)
+
+    def test_zero_work(self):
+        assert CPUCostModel().seconds(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CPUCostModel().seconds(-1, 0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            CPUCostModel(symbol_ns=0.0)

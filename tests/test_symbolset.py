@@ -1,0 +1,128 @@
+"""Tests for SymbolSet: construction, algebra, rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nfa.symbolset import ALPHABET_SIZE, SymbolSet
+
+symbol_lists = st.lists(st.integers(min_value=0, max_value=255), unique=True, max_size=40)
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = SymbolSet.empty()
+        assert len(s) == 0
+        assert not s
+        assert not s.matches(0)
+
+    def test_universal(self):
+        s = SymbolSet.universal()
+        assert len(s) == ALPHABET_SIZE
+        assert s.is_universal()
+        assert s.matches(0) and s.matches(255) and s.matches("a")
+
+    def test_single_char(self):
+        s = SymbolSet.single("a")
+        assert s.matches("a")
+        assert s.matches(97)
+        assert s.matches(b"a")
+        assert not s.matches("b")
+        assert len(s) == 1
+
+    def test_from_symbols_mixed_types(self):
+        s = SymbolSet.from_symbols(["a", 98, b"c"])
+        assert s.symbols() == [97, 98, 99]
+
+    def test_from_ranges(self):
+        s = SymbolSet.from_ranges(("a", "c"), ("0", "1"))
+        assert s.symbols() == [48, 49, 97, 98, 99]
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolSet.from_ranges(("z", "a"))
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolSet.single(256)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            SymbolSet.single("ab")
+
+
+class TestAlgebra:
+    def test_union_intersection(self):
+        a = SymbolSet.from_symbols("abc")
+        b = SymbolSet.from_symbols("bcd")
+        assert (a | b).symbols() == [97, 98, 99, 100]
+        assert (a & b).symbols() == [98, 99]
+
+    def test_difference(self):
+        a = SymbolSet.from_symbols("abc")
+        b = SymbolSet.from_symbols("b")
+        assert (a - b).symbols() == [97, 99]
+
+    def test_complement_involution(self):
+        a = SymbolSet.from_symbols("xyz")
+        assert ~~a == a
+
+    def test_complement_partitions_alphabet(self):
+        a = SymbolSet.from_symbols("q")
+        assert len(a) + len(~a) == ALPHABET_SIZE
+        assert not (a & ~a)
+
+    def test_hash_and_eq(self):
+        assert SymbolSet.from_symbols("ab") == SymbolSet.from_symbols("ba")
+        assert hash(SymbolSet.from_symbols("ab")) == hash(SymbolSet.from_symbols("ba"))
+
+
+class TestConversion:
+    def test_bool_array(self):
+        s = SymbolSet.from_symbols([0, 255])
+        arr = s.to_bool_array()
+        assert arr[0] and arr[255]
+        assert arr.sum() == 2
+
+    def test_iteration_sorted(self):
+        s = SymbolSet.from_symbols([200, 3, 50])
+        assert list(s) == [3, 50, 200]
+
+
+class TestDescribe:
+    def test_universal_star(self):
+        assert SymbolSet.universal().describe() == "*"
+
+    def test_single(self):
+        assert SymbolSet.single("a").describe() == "a"
+
+    def test_range_rendering(self):
+        assert SymbolSet.from_ranges(("a", "e")).describe() == "[a-e]"
+
+    def test_escapes_metacharacters(self):
+        rendered = SymbolSet.from_symbols("]").describe()
+        assert "\\]" in rendered
+
+    def test_nonprintable_hex(self):
+        assert "\\x00" in SymbolSet.single(0).describe()
+
+
+@given(symbol_lists, symbol_lists)
+def test_algebra_matches_python_sets(left, right):
+    a, b = SymbolSet.from_symbols(left), SymbolSet.from_symbols(right)
+    sl, sr = set(left), set(right)
+    assert set((a | b).symbols()) == sl | sr
+    assert set((a & b).symbols()) == sl & sr
+    assert set((a - b).symbols()) == sl - sr
+    assert set((~a).symbols()) == set(range(256)) - sl
+
+
+@given(symbol_lists)
+def test_describe_parses_back(symbols):
+    """The ANML renderer and parser must round-trip any symbol set."""
+    from repro.nfa.anml import parse_symbol_set
+
+    s = SymbolSet.from_symbols(symbols)
+    if not s:
+        return  # empty sets are not expressible in class syntax
+    assert parse_symbol_set(s.describe()) == s

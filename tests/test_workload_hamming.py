@@ -1,0 +1,129 @@
+"""Tests for the BMIA (Hamming) and Levenshtein automaton constructions."""
+
+import numpy as np
+import pytest
+
+from repro.nfa.analysis import analyze_automaton
+from repro.nfa.automaton import Network
+from repro.sim import reference_run
+from repro.workloads.hamming import bmia_automaton, bmia_size, hamming_network
+from repro.workloads.levenshtein import levenshtein_automaton, levenshtein_network
+
+
+def _hamming_distance(a: bytes, b: bytes) -> int:
+    assert len(a) == len(b)
+    return sum(x != y for x, y in zip(a, b))
+
+
+def _reports_end_at(automaton, data: bytes):
+    network = Network("t")
+    network.add(automaton)
+    result = reference_run(network, data)
+    return {int(p) for p, _g in result.reports}
+
+
+class TestBMIA:
+    def test_size_formula(self):
+        automaton = bmia_automaton(b"ACGTACGT", 2, alphabet=b"ACGT")
+        assert automaton.n_states == bmia_size(8, 2) == 8 * 3 + 8 * 2
+
+    def test_exact_match_reports(self):
+        automaton = bmia_automaton(b"ACGT", 1, alphabet=b"ACGT")
+        assert 3 in _reports_end_at(automaton, b"ACGT")
+
+    def test_within_distance_reports(self):
+        pattern = b"ACGTAC"
+        automaton = bmia_automaton(pattern, 2, alphabet=b"ACGT")
+        candidate = b"AGGTAC"  # distance 1
+        assert _hamming_distance(pattern, candidate) == 1
+        assert len(candidate) - 1 in _reports_end_at(automaton, candidate)
+
+    def test_beyond_distance_silent(self):
+        pattern = b"AAAAAA"
+        automaton = bmia_automaton(pattern, 1, alphabet=b"ACGT")
+        candidate = b"CCAAAA"  # distance 2 > budget 1
+        assert len(candidate) - 1 not in _reports_end_at(automaton, candidate)
+
+    def test_exhaustive_small(self):
+        """Every 4-mer within distance d reports; every other 4-mer doesn't."""
+        pattern = b"ACGT"
+        distance = 1
+        automaton = bmia_automaton(pattern, distance, alphabet=b"ACGT")
+        alphabet = b"ACGT"
+        for i0 in alphabet:
+            for i1 in alphabet:
+                for i2 in alphabet:
+                    for i3 in alphabet:
+                        candidate = bytes([i0, i1, i2, i3])
+                        expected = _hamming_distance(pattern, candidate) <= distance
+                        reported = 3 in _reports_end_at(automaton, candidate)
+                        assert reported == expected, candidate
+
+    def test_unanchored_matches_mid_stream(self):
+        automaton = bmia_automaton(b"ACGT", 1, alphabet=b"ACGT")
+        assert 7 in _reports_end_at(automaton, b"TTTTACGT")
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            bmia_automaton(b"", 1)
+        with pytest.raises(ValueError):
+            bmia_automaton(b"ACGT", -1)
+        with pytest.raises(ValueError):
+            bmia_automaton(b"AC", 2)
+
+    def test_is_dag(self):
+        automaton = bmia_automaton(b"ACGTACGT", 2, alphabet=b"ACGT")
+        topology = analyze_automaton(automaton)
+        assert (topology.scc_size == 1).all()
+        assert not any(s == d for s, d in automaton.edges())
+
+
+class TestHammingNetwork:
+    def test_target_states_respected(self):
+        network = hamming_network(seed=1, target_states=2000)
+        assert 1700 <= network.n_states <= 2000
+
+    def test_n_nfas(self):
+        network = hamming_network(6, seed=1)
+        assert network.n_automata == 6
+
+    def test_exclusive_args(self):
+        with pytest.raises(ValueError):
+            hamming_network(5, 1, target_states=100)
+        with pytest.raises(ValueError):
+            hamming_network()
+
+    def test_deterministic(self):
+        a = hamming_network(4, seed=9)
+        b = hamming_network(4, seed=9)
+        assert a.n_states == b.n_states
+        assert [s.symbol_set for _g, _i, s in a.global_states()] == [
+            s.symbol_set for _g, _i, s in b.global_states()
+        ]
+
+
+class TestLevenshtein:
+    def test_exact_match_reports(self):
+        automaton = levenshtein_automaton(b"ACGT", 2, alphabet=b"ACGT")
+        assert 3 in _reports_end_at(automaton, b"ACGT")
+
+    def test_substitution_within_distance(self):
+        automaton = levenshtein_automaton(b"ACGTAC", 2, alphabet=b"ACGT")
+        assert 5 in _reports_end_at(automaton, b"AGGTAC")
+
+    def test_large_scc_signature(self):
+        """Most of the machine must collapse into one SCC (the LV property)."""
+        automaton = levenshtein_automaton(b"ACGTACGTACGT", 3, alphabet=b"ACGT")
+        topology = analyze_automaton(automaton)
+        assert topology.scc_size.max() >= automaton.n_states * 0.5
+
+    def test_network_sizes(self):
+        network = levenshtein_network(2, seed=1, pattern_length=24, distance=3)
+        assert network.n_automata == 2
+        assert all(a.n_states == 24 * 4 + 24 * 3 for a in network.automata)
+
+    def test_bad_distance(self):
+        with pytest.raises(ValueError):
+            levenshtein_automaton(b"ACGT", 0)
+        with pytest.raises(ValueError):
+            levenshtein_automaton(b"", 2)
