@@ -6,15 +6,27 @@ Commands:
 * ``run-app ABBR`` — run one application through all three scenarios.
 * ``figure NAME`` — regenerate one paper figure/table (e.g. ``fig10``).
 * ``report [OUT.md]`` — regenerate the full EXPERIMENTS.md.
+* ``verify [ABBR ...|--all]`` — static verification (the automata
+  sanitizer): lint networks and prove the partition/batch-plan invariants
+  without running any simulation.
+
+Unknown application or figure names exit with status 2 and a "did you
+mean" suggestion; ``verify`` exits 1 when any rule of ERROR severity
+fires.  ``--no-verify`` on the experiment commands disables the
+pipeline's fail-fast invariant checks (see ``repro.verify``).
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
+from dataclasses import replace
+from typing import Iterable, Optional
 
 from .experiments import default_config
 from .experiments import figures as _figures
+from .experiments.config import ExperimentConfig
 from .experiments.pipeline import get_run
 from .experiments.report import generate_report
 from .experiments.tables import render_table
@@ -35,6 +47,26 @@ _FIGURES = {
 }
 
 
+def _unknown_name(kind: str, name: str, candidates: Iterable[str]) -> int:
+    """Report an unknown app/figure name with a close-match suggestion."""
+    pool = list(candidates)
+    message = f"unknown {kind} {name!r}"
+    close = difflib.get_close_matches(name, pool, n=3, cutoff=0.5)
+    if close:
+        message += "; did you mean " + " or ".join(repr(c) for c in close) + "?"
+    else:
+        message += f"; known: {', '.join(pool)}"
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _config_for(args) -> ExperimentConfig:
+    config = default_config()
+    if getattr(args, "no_verify", False):
+        config = replace(config, verify=False)
+    return config
+
+
 def _cmd_list_apps(_args) -> int:
     rows = []
     for abbr in app_names():
@@ -51,9 +83,8 @@ def _cmd_list_apps(_args) -> int:
 
 def _cmd_run_app(args) -> int:
     if args.app not in APPS:
-        print(f"unknown application {args.app!r}; try `list-apps`", file=sys.stderr)
-        return 2
-    config = default_config()
+        return _unknown_name("application", args.app, app_names())
+    config = _config_for(args)
     run = get_run(args.app, config)
     ap = config.half_core
     baseline = run.baseline(ap)
@@ -74,39 +105,100 @@ def _cmd_run_app(args) -> int:
 def _cmd_figure(args) -> int:
     fn = _FIGURES.get(args.name)
     if fn is None:
-        print(f"unknown figure {args.name!r}; one of {', '.join(_FIGURES)}",
-              file=sys.stderr)
-        return 2
-    print(fn(default_config()).render())
+        return _unknown_name("figure", args.name, _FIGURES)
+    print(fn(_config_for(args)).render())
     return 0
 
 
 def _cmd_report(args) -> int:
-    text = generate_report(default_config())
+    text = generate_report(_config_for(args))
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output}")
     return 0
 
 
-def main(argv=None) -> int:
+def _cmd_verify(args) -> int:
+    from .verify.app import verify_app
+
+    if args.all:
+        targets = app_names()
+    elif args.apps:
+        targets = args.apps
+        for abbr in targets:
+            if abbr not in APPS:
+                return _unknown_name("application", abbr, app_names())
+    else:
+        print("verify: name at least one application or pass --all",
+              file=sys.stderr)
+        return 2
+
+    config = default_config()
+    failed = 0
+    payload = []
+    for abbr in targets:
+        report = verify_app(abbr, config, fraction=args.profile)
+        if args.json:
+            payload.append(report.to_json())
+        else:
+            if report.errors or (report.warnings and args.verbose):
+                print(report.render_text(verbose=args.verbose))
+            else:
+                print(report.summary())
+        failed += 0 if report.ok else 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload, indent=2))
+    elif len(targets) > 1:
+        print(f"{len(targets) - failed}/{len(targets)} applications verified clean")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list-apps", help="list the 26-application registry")
+
     run_parser = sub.add_parser("run-app", help="run one application end-to-end")
     run_parser.add_argument("app")
     run_parser.add_argument("--profile", type=float, default=0.01,
                             help="profiling fraction (default 0.01)")
+    run_parser.add_argument("--no-verify", action="store_true",
+                            help="skip fail-fast partition/batch verification")
+
     figure_parser = sub.add_parser("figure", help="regenerate one table/figure")
     figure_parser.add_argument("name", help=f"one of: {', '.join(_FIGURES)}")
+    figure_parser.add_argument("--no-verify", action="store_true",
+                               help="skip fail-fast partition/batch verification")
+
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    report_parser.add_argument("--no-verify", action="store_true",
+                               help="skip fail-fast partition/batch verification")
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="statically verify applications (networks, partitions, batch plans)",
+    )
+    verify_parser.add_argument("apps", nargs="*",
+                               help="application abbreviations (see list-apps)")
+    verify_parser.add_argument("--all", action="store_true",
+                               help="verify every registry application")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="emit a JSON report instead of text")
+    verify_parser.add_argument("--verbose", action="store_true",
+                               help="print warnings and fix hints, not just errors")
+    verify_parser.add_argument("--profile", type=float, default=None,
+                               help="profiling fraction for the partition pass")
+
     args = parser.parse_args(argv)
     handlers = {
         "list-apps": _cmd_list_apps,
         "run-app": _cmd_run_app,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -89,10 +89,21 @@ def slice_network(parent: Network, automaton_indices: Sequence[int]) -> NetworkS
     return NetworkSlice(network=network, global_ids=np.asarray(ids, dtype=np.int64))
 
 
-def batch_network(parent: Network, capacity: int) -> List[NetworkSlice]:
-    """Pack a network's NFAs into AP-sized batches."""
+def batch_network(parent: Network, capacity: int, *, strict: bool = False) -> List[NetworkSlice]:
+    """Pack a network's NFAs into AP-sized batches.
+
+    ``strict=True`` additionally runs the static batch-plan checker
+    (:func:`repro.verify.verify_batch_plan`) on the result and raises
+    :class:`repro.verify.VerificationError` on any rule violation.
+    """
     sizes = [a.n_states for a in parent.automata]
-    return [slice_network(parent, members) for members in pack_batches(sizes, capacity)]
+    slices = [slice_network(parent, members) for members in pack_batches(sizes, capacity)]
+    if strict:
+        # Imported here: repro.verify.batching imports this module.
+        from ..verify.batching import verify_batch_plan
+
+        verify_batch_plan(parent, slices, capacity).raise_for_errors()
+    return slices
 
 
 def min_batches(total_states: int, capacity: int) -> int:

@@ -138,6 +138,7 @@ def partition_network(
     *,
     topology: NetworkTopology = None,
     share_intermediates: bool = True,
+    strict: bool = False,
 ) -> PartitionedNetwork:
     """Cut every NFA of ``parent`` at its partition layer.
 
@@ -146,6 +147,10 @@ def partition_network(
     default per-*target* sharing; the two are observationally equivalent
     for matching but the literal form configures more STEs and reports
     duplicate events (see the dedup ablation benchmark).
+
+    ``strict=True`` additionally runs the full static partition checker
+    (:func:`repro.verify.verify_partition`) on the result and raises
+    :class:`repro.verify.VerificationError` on any rule violation.
     """
     if topology is None:
         topology = analyze_network(parent)
@@ -220,6 +225,11 @@ def partition_network(
         cold_parent_automata=cold_parent_automata,
     )
     result.validate()
+    if strict:
+        # Imported here: repro.verify.partition imports this module.
+        from ..verify.partition import verify_partition
+
+        verify_partition(result).raise_for_errors()
     return result
 
 

@@ -10,6 +10,8 @@ Environment overrides:
 * ``REPRO_FULL=1`` — 64 KB inputs instead of 8 KB.
 * ``REPRO_SCALE=<n>`` — a different linear scale factor (default 16).
 * ``REPRO_INPUT=<n>`` — explicit input length in bytes.
+* ``REPRO_NO_VERIFY=1`` — skip the fail-fast static verification of
+  partitions and batch plans (``repro.verify``).
 """
 
 from __future__ import annotations
@@ -37,6 +39,8 @@ class ExperimentConfig:
     profile_fractions: Tuple[float, ...] = (0.001, 0.01)
     table1_fractions: Tuple[float, ...] = (0.001, 0.01, 0.1, 0.5)
     cpu_model: CPUCostModel = field(default_factory=lambda: DEFAULT_CPU_MODEL)
+    #: Fail fast on partition/batch-plan invariant violations (repro.verify).
+    verify: bool = True
 
     def __post_init__(self):
         if self.scale < 1:
@@ -82,4 +86,5 @@ def default_config() -> ExperimentConfig:
         input_len = 65536
     else:
         input_len = 8192
-    return ExperimentConfig(scale=scale, input_len=input_len)
+    verify = os.environ.get("REPRO_NO_VERIFY") != "1"
+    return ExperimentConfig(scale=scale, input_len=input_len, verify=verify)

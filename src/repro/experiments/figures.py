@@ -55,7 +55,8 @@ class ExperimentResult:
         if self.summary:
             out.append("")
             for key, value in self.summary.items():
-                out.append(f"  {key}: {value:.4g}" if isinstance(value, float) else f"  {key}: {value}")
+                rendered = f"{value:.4g}" if isinstance(value, float) else str(value)
+                out.append(f"  {key}: {rendered}")
         return "\n".join(out)
 
 

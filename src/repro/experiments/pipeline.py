@@ -118,6 +118,15 @@ class AppRun:
                 self.network, self.topology, layers, config.capacity, fill=fill
             )
             partitioned = partition_network(self.network, layers, topology=self.topology)
+            if self.config.verify:
+                # Fail fast: refuse to simulate a partition or batch plan that
+                # violates a §IV-C/§III-C invariant (escape hatch: --no-verify
+                # on the CLI, REPRO_NO_VERIFY=1, or ExperimentConfig(verify=False)).
+                from ..verify.app import verify_partition_with_plan
+
+                verify_partition_with_plan(
+                    partitioned, bins, config.capacity
+                ).raise_for_errors()
             self._partitions[key] = (partitioned, bins)
         return self._partitions[key]
 

@@ -161,7 +161,9 @@ class Automaton:
             out.add_edge(src, dst)
         return out
 
-    def induced(self, keep: Iterable[int], name: Optional[str] = None) -> Tuple["Automaton", Dict[int, int]]:
+    def induced(
+        self, keep: Iterable[int], name: Optional[str] = None
+    ) -> Tuple["Automaton", Dict[int, int]]:
         """The sub-automaton induced by ``keep`` state ids.
 
         Returns the new automaton and the old-id -> new-id mapping.  Edges to

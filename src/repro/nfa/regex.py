@@ -235,7 +235,8 @@ class _Parser:
                 break
             first = False
             item = self._class_item()
-            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+            dashed = self.peek() == "-" and self.pos + 1 < len(self.pattern)
+            if dashed and self.pattern[self.pos + 1] != "]":
                 if len(item) != 1:
                     raise self.error("range endpoint must be a single symbol")
                 self.take()  # '-'

@@ -1,0 +1,55 @@
+"""Static verification of automata, partitions, and batch plans.
+
+The "automata sanitizer": three analysis passes that *prove* the structural
+invariants the SparseAP pipeline assumes, before any simulation runs —
+
+* :func:`verify_network` — homogeneous-NFA well-formedness (SPAP-N0xx);
+* :func:`verify_partition` — the §IV-B/C hot/cold cut invariants
+  (SPAP-P0xx);
+* :func:`verify_batch_plan` — §III-C chip-capacity and whole-NFA batching
+  constraints (SPAP-B0xx);
+
+plus :func:`verify_app`, which runs the whole stack over one registry
+application, and the :mod:`~repro.verify.diagnostics` core they all report
+through.  Every finding carries a stable rule code documented in DESIGN.md
+appendix B.  Exposed on the command line as ``python -m repro verify``.
+"""
+
+from .batching import verify_batch_plan
+from .diagnostics import (
+    RULES,
+    Diagnostic,
+    Rule,
+    Severity,
+    VerificationError,
+    VerificationReport,
+    merge_reports,
+)
+from .network import verify_automaton, verify_network
+from .partition import verify_partition
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Severity",
+    "Diagnostic",
+    "VerificationReport",
+    "VerificationError",
+    "merge_reports",
+    "verify_automaton",
+    "verify_network",
+    "verify_partition",
+    "verify_batch_plan",
+    "verify_app",
+]
+
+
+def verify_app(*args: object, **kwargs: object) -> VerificationReport:
+    """Lazy proxy for :func:`repro.verify.app.verify_app`.
+
+    Imported on first call: the app driver pulls in the experiments
+    pipeline, which itself uses this package for its fail-fast hooks.
+    """
+    from .app import verify_app as _verify_app
+
+    return _verify_app(*args, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,89 @@
+"""End-to-end verification of one registry application.
+
+Runs the full static-analysis stack over everything the experiment
+pipeline would build for an application: lint the parent network, then
+profile/partition it exactly as the §IV pipeline does and check the
+partition, the hot batch plan, and the baseline batch plan.  Used by the
+``python -m repro verify`` CLI and the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..ap.batching import batch_network
+from ..core.partition import PartitionedNetwork
+from ..experiments.config import ExperimentConfig, default_config
+from ..experiments.pipeline import AppRun
+from ..workloads.registry import get_app
+from .batching import BatchPlan, verify_batch_plan
+from .diagnostics import VerificationReport, merge_reports
+from .network import verify_network
+from .partition import verify_partition
+
+__all__ = ["verify_app", "verify_partition_with_plan"]
+
+
+def verify_app(
+    abbr: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fraction: Optional[float] = None,
+) -> VerificationReport:
+    """Statically verify one application end-to-end.
+
+    Builds the scaled network, lints it, partitions it at the given
+    profiling ``fraction`` (default: the configuration's standard 1%),
+    and checks the partition plus both batch plans.  Returns the merged
+    report; never raises on findings.
+    """
+    cfg = config or default_config()
+    if cfg.verify:
+        # The AppRun below must not fail fast: this *is* the verifier.
+        cfg = replace(cfg, verify=False)
+    spec = get_app(abbr)  # raises KeyError for unknown apps (CLI maps to exit 2)
+    run = AppRun(spec, cfg)
+    use_fraction = cfg.profile_fractions[-1] if fraction is None else fraction
+    ap = cfg.half_core
+
+    reports = [verify_network(run.network)]
+
+    partition_report = VerificationReport(subject=f"{abbr} [partition]")
+    try:
+        partitioned, bins = run.partition(use_fraction, ap)
+    except ValueError as exc:
+        # pack_batches refuses plans containing an NFA larger than the chip;
+        # report it as the capacity rule instead of crashing the sanitizer.
+        partition_report.emit("SPAP-B001", str(exc))
+    else:
+        partition_report = verify_partition_with_plan(partitioned, bins, ap.capacity)
+    reports.append(partition_report)
+
+    baseline_report = VerificationReport(subject=f"{abbr} baseline [batch plan]")
+    try:
+        baseline_plan = batch_network(run.network, ap.capacity)
+    except ValueError as exc:
+        baseline_report.emit("SPAP-B001", str(exc))
+    else:
+        baseline_report = verify_batch_plan(
+            run.network, baseline_plan, ap.capacity, subject=f"{abbr} baseline"
+        )
+    reports.append(baseline_report)
+    return merge_reports(abbr, reports)
+
+
+def verify_partition_with_plan(
+    partitioned: PartitionedNetwork, bins: BatchPlan, capacity: int
+) -> VerificationReport:
+    """Partition invariants plus the hot batch plan, as the pipeline checks them."""
+    report = verify_partition(partitioned)
+    report.extend(
+        verify_batch_plan(
+            partitioned.hot,
+            bins,
+            capacity,
+            subject=f"{partitioned.hot.name or 'hot'}",
+        )
+    )
+    return report

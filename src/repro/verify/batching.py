@@ -1,0 +1,193 @@
+"""Batch-plan checker: §III-C configuration constraints (rules SPAP-B0xx).
+
+Validates a batch plan — either bins of parent automaton indices (as
+produced by :func:`repro.ap.batching.pack_batches` /
+:func:`repro.core.partition.plan_hot_batches`) or fully-built
+:class:`~repro.ap.batching.NetworkSlice` objects — against the parent
+network and a chip capacity:
+
+* no batch exceeds the placement unit's STE capacity (B001);
+* batches contain whole NFAs and cover each exactly once (B002);
+* every slice's ``global_ids`` is an order-preserving bijection into the
+  parent's global id space (B003);
+* rewriting batch-local report ids through ``global_ids`` lands on the
+  identical parent state — exercised through the real
+  ``to_parent_reports`` code path (B004).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..ap.batching import NetworkSlice, slice_network
+from ..ap.config import APConfig
+from ..nfa.automaton import Network
+from .diagnostics import VerificationReport
+
+__all__ = ["verify_batch_plan"]
+
+BatchPlan = Sequence[Union[NetworkSlice, Sequence[int]]]
+
+#: Per-slice cap on exhaustively round-tripped report ids (B004); beyond
+#: this the check samples evenly instead of covering every state.
+_ROUNDTRIP_CAP = 4096
+
+
+def _as_slices(
+    parent: Network, plan: BatchPlan, report: VerificationReport
+) -> List[Optional[NetworkSlice]]:
+    """Normalize bins-of-indices to slices; invalid bins become ``None``."""
+    slices: List[Optional[NetworkSlice]] = []
+    for batch_index, entry in enumerate(plan):
+        if isinstance(entry, NetworkSlice):
+            slices.append(entry)
+            continue
+        members = list(entry)
+        bad = [i for i in members if not 0 <= int(i) < parent.n_automata]
+        if bad:
+            report.emit(
+                "SPAP-B002",
+                f"batch {batch_index} names missing parent automata {bad}",
+                location=f"batch {batch_index}",
+            )
+            slices.append(None)
+            continue
+        slices.append(slice_network(parent, [int(i) for i in members]))
+    return slices
+
+
+def _parent_index_of(parent: Network) -> Dict[int, int]:
+    """Identity map of the parent's automaton objects to their indices."""
+    return {id(a): index for index, a in enumerate(parent.automata)}
+
+
+def verify_batch_plan(
+    parent: Network,
+    plan: BatchPlan,
+    capacity: Union[int, APConfig],
+    *,
+    subject: Optional[str] = None,
+) -> VerificationReport:
+    """Check a batch plan against ``parent`` (rules SPAP-B001..B004)."""
+    cap = capacity.capacity if isinstance(capacity, APConfig) else int(capacity)
+    name = subject if subject is not None else (parent.name or "network")
+    report = VerificationReport(subject=f"{name} [batch plan]")
+    slices = _as_slices(parent, plan, report)
+    by_identity = _parent_index_of(parent)
+    offsets = parent.offsets()
+    appearances = np.zeros(parent.n_automata, dtype=np.int64)
+
+    for batch_index, batch in enumerate(slices):
+        if batch is None:
+            continue
+        loc = f"batch {batch_index}"
+        if batch.n_states > cap:
+            report.emit(
+                "SPAP-B001",
+                f"batch holds {batch.n_states} states, capacity is {cap}",
+                location=loc,
+            )
+
+        # Resolve each slice automaton back to its parent index (B002).
+        member_indices: List[Optional[int]] = []
+        for automaton in batch.network.automata:
+            parent_index = by_identity.get(id(automaton))
+            if parent_index is None:
+                report.emit(
+                    "SPAP-B002",
+                    f"batch contains automaton {automaton.name!r} that is not "
+                    f"part of the parent network",
+                    location=loc,
+                )
+            else:
+                appearances[parent_index] += 1
+            member_indices.append(parent_index)
+
+        # B003: global_ids must be exactly the members' parent id ranges.
+        ids = np.asarray(batch.global_ids, dtype=np.int64)
+        if ids.shape != (batch.n_states,):
+            report.emit(
+                "SPAP-B003",
+                f"global_ids has {ids.size} entries for {batch.n_states} states",
+                location=loc,
+            )
+            continue
+        out_of_range = (ids < 0) | (ids >= parent.n_states)
+        if out_of_range.any():
+            report.emit(
+                "SPAP-B003",
+                f"{int(out_of_range.sum())} global ids fall outside the parent's "
+                f"{parent.n_states} states",
+                location=loc,
+            )
+            continue
+        if None not in member_indices:
+            expected = np.concatenate(
+                [
+                    np.arange(
+                        offsets[i], offsets[i] + parent.automata[i].n_states,
+                        dtype=np.int64,
+                    )
+                    for i in member_indices
+                ]
+            ) if member_indices else np.empty(0, dtype=np.int64)
+            if not np.array_equal(ids, expected):
+                report.emit(
+                    "SPAP-B003",
+                    "global_ids do not enumerate the member NFAs' parent id "
+                    "ranges in order",
+                    location=loc,
+                )
+
+        # B004: drive the real report-rewrite path and compare states.
+        n_local = batch.n_states
+        if n_local == 0:
+            continue
+        if n_local <= _ROUNDTRIP_CAP:
+            locals_checked = np.arange(n_local, dtype=np.int64)
+        else:
+            locals_checked = np.linspace(
+                0, n_local - 1, _ROUNDTRIP_CAP, dtype=np.int64
+            )
+        fake = np.stack(
+            [np.zeros_like(locals_checked), locals_checked], axis=1
+        )
+        rewritten = batch.to_parent_reports(fake)
+        for local_gid, parent_gid in zip(
+            locals_checked.tolist(), rewritten[:, 1].tolist()
+        ):
+            local_automaton, local_sid = batch.network.locate(int(local_gid))
+            parent_automaton, parent_sid = parent.locate(int(parent_gid))
+            same_object = (
+                batch.network.automata[local_automaton]
+                is parent.automata[parent_automaton]
+            )
+            if not same_object or local_sid != parent_sid:
+                report.emit(
+                    "SPAP-B004",
+                    f"local report id {local_gid} rewrites to parent {parent_gid}, "
+                    f"which is a different state",
+                    location=loc,
+                )
+                break  # one broken slice mapping yields cascading mismatches
+
+    split = np.flatnonzero(appearances > 1)
+    for parent_index in split:
+        report.emit(
+            "SPAP-B002",
+            f"parent NFA {int(parent_index)} appears in "
+            f"{int(appearances[parent_index])} batches",
+        )
+    missing = np.flatnonzero(appearances == 0)
+    for parent_index in missing[:20]:
+        report.emit(
+            "SPAP-B002",
+            f"parent NFA {int(parent_index)} is missing from every batch",
+        )
+    if missing.size > 20:
+        report.emit(
+            "SPAP-B002", f"... and {missing.size - 20} more NFAs missing"
+        )
+    return report

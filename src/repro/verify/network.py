@@ -1,0 +1,149 @@
+"""Network lint: well-formedness of homogeneous NFAs (rules SPAP-N0xx).
+
+Checks one :class:`~repro.nfa.automaton.Network` (or a single automaton)
+for the structural properties every later stage assumes: valid transition
+targets, non-empty symbol-sets, start/report coverage, consistent
+``StartKind``/``eod`` usage, and dense in-sync state ids.  Reachability
+checks (unreachable and report-unreachable states) are forward/backward
+BFS over the transition relation; they are warnings, since a wasteful
+state is not an unsound one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence
+
+from ..nfa.automaton import Automaton, Network
+from .diagnostics import VerificationReport
+
+__all__ = ["verify_automaton", "verify_network"]
+
+
+def _reachable_forward(n_states: int, succ: Sequence[Sequence[int]],
+                       sources: Sequence[int]) -> List[bool]:
+    """States reachable from ``sources`` (inclusive) along valid edges."""
+    seen = [False] * n_states
+    queue = deque(s for s in sources if 0 <= s < n_states)
+    for s in queue:
+        seen[s] = True
+    while queue:
+        u = queue.popleft()
+        for v in succ[u]:
+            if 0 <= v < n_states and not seen[v]:
+                seen[v] = True
+                queue.append(v)
+    return seen
+
+
+def _reachable_backward(n_states: int, succ: Sequence[Sequence[int]],
+                        sinks: Sequence[int]) -> List[bool]:
+    """States from which some state in ``sinks`` is reachable (inclusive)."""
+    preds: List[List[int]] = [[] for _ in range(n_states)]
+    for u in range(n_states):
+        for v in succ[u]:
+            if 0 <= v < n_states:
+                preds[v].append(u)
+    return _reachable_forward(n_states, preds, sinks)
+
+
+def verify_automaton(
+    automaton: Automaton,
+    report: Optional[VerificationReport] = None,
+    *,
+    where: str = "",
+    require_start: bool = True,
+) -> VerificationReport:
+    """Lint one automaton, appending findings to ``report``.
+
+    ``require_start=False`` suits partition fragments (cold sides are
+    startless by construction); it suppresses SPAP-N003 and the
+    reachability rules that need a start set to be meaningful.
+    """
+    if report is None:
+        report = VerificationReport(subject=automaton.name or "automaton")
+    prefix = where or (automaton.name or "automaton")
+    n = automaton.n_states
+
+    if n == 0:
+        report.emit("SPAP-N009", "automaton has no states", location=prefix)
+        return report
+
+    succ = [automaton.successors(sid) for sid in range(n)]
+    for src in range(n):
+        for dst in succ[src]:
+            if not 0 <= dst < n:
+                report.emit(
+                    "SPAP-N001",
+                    f"edge {src}->{dst} targets a missing state (have {n})",
+                    location=f"{prefix}/state {src}",
+                )
+
+    start_kinds = set()
+    for index, state in enumerate(automaton.states()):
+        loc = f"{prefix}/state {index}"
+        if state.sid != index:
+            report.emit(
+                "SPAP-N008",
+                f"state at index {index} carries sid {state.sid}",
+                location=loc,
+            )
+        if not state.symbol_set:
+            report.emit("SPAP-N002", "state matches no symbol", location=loc)
+        if state.eod and not state.reporting:
+            report.emit(
+                "SPAP-N007", "eod set on a non-reporting state", location=loc
+            )
+        if state.is_start:
+            start_kinds.add(state.start)
+
+    if len(start_kinds) > 1:
+        kinds = ", ".join(sorted(k.value for k in start_kinds))
+        report.emit("SPAP-N006", f"start kinds mixed: {kinds}", location=prefix)
+
+    starts = automaton.start_states()
+    reporters = automaton.reporting_states()
+    if require_start and not starts:
+        report.emit("SPAP-N003", "no start state", location=prefix)
+    if not reporters:
+        report.emit("SPAP-N010", "no reporting state", location=prefix)
+
+    if starts:
+        forward = _reachable_forward(n, succ, starts)
+        for sid in range(n):
+            if not forward[sid]:
+                report.emit(
+                    "SPAP-N004",
+                    "state can never be enabled from a start state",
+                    location=f"{prefix}/state {sid}",
+                )
+        if reporters:
+            backward = _reachable_backward(n, succ, reporters)
+            for sid in range(n):
+                if forward[sid] and not backward[sid]:
+                    report.emit(
+                        "SPAP-N005",
+                        "no reporting state reachable from here",
+                        location=f"{prefix}/state {sid}",
+                    )
+    return report
+
+
+def verify_network(
+    network: Network,
+    *,
+    require_start: bool = True,
+    subject: Optional[str] = None,
+) -> VerificationReport:
+    """Lint every automaton of a network (rules SPAP-N001..N010)."""
+    report = VerificationReport(
+        subject=subject if subject is not None else (network.name or "network")
+    )
+    for index, automaton in enumerate(network.automata):
+        where = f"{network.name or 'network'}/automaton {index}"
+        if automaton.name:
+            where += f" ({automaton.name})"
+        verify_automaton(
+            automaton, report, where=where, require_start=require_start
+        )
+    return report

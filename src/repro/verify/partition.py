@@ -1,0 +1,402 @@
+"""Partition checker: the §IV-B/§IV-C cut invariants (rules SPAP-P0xx).
+
+Statically proves, for a :class:`~repro.core.partition.PartitionedNetwork`,
+the properties the SpAP execution model relies on:
+
+* hot∪cold is a disjoint exact cover of the parent's states (P007);
+* no SCC is split across the cut, and every crossing edge points hot→cold
+  (P001, P002) — i.e. the cut is a topological cut of the SCC condensation;
+* every cold target of a cut edge has an intermediate reporting state in
+  the hot partition with an *equal* symbol-set, a translation-table entry,
+  and in-edges from the hot image of every hot source (P003, P004, P010);
+* the translation table and intermediate flags agree, and
+  ``INTERMEDIATE_CODE`` appears exactly on hot intermediates (P005, P006);
+* no start state leaks cold, and the partitions preserve the parent's
+  hot–hot and cold–cold edges exactly (P008, P009).
+
+All checks are pure graph/array comparisons — nothing is simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.partition import INTERMEDIATE_CODE, PartitionedNetwork
+from ..nfa.automaton import StartKind
+from .diagnostics import VerificationReport
+
+__all__ = ["verify_partition"]
+
+
+def _consistent_shapes(p: PartitionedNetwork, report: VerificationReport) -> bool:
+    """Bookkeeping arrays must match the networks they describe."""
+    ok = True
+    if len(p.hot_to_parent) != p.hot.n_states or len(p.hot_is_intermediate) != p.hot.n_states:
+        report.emit(
+            "SPAP-P007",
+            f"hot mapping arrays have {len(p.hot_to_parent)}/{len(p.hot_is_intermediate)} "
+            f"entries for {p.hot.n_states} hot states",
+        )
+        ok = False
+    if len(p.cold_to_parent) != p.cold.n_states:
+        report.emit(
+            "SPAP-P007",
+            f"cold mapping has {len(p.cold_to_parent)} entries for "
+            f"{p.cold.n_states} cold states",
+        )
+        ok = False
+    if len(p.cold_parent_automata) != p.cold.n_automata:
+        report.emit(
+            "SPAP-P007",
+            f"cold_parent_automata lists {len(p.cold_parent_automata)} automata "
+            f"for {p.cold.n_automata} cold automata",
+        )
+        ok = False
+    if p.hot.n_automata != p.parent.n_automata:
+        report.emit(
+            "SPAP-P007",
+            f"hot network has {p.hot.n_automata} automata for "
+            f"{p.parent.n_automata} parent automata",
+        )
+        ok = False
+    return ok
+
+
+def _check_cover(p: PartitionedNetwork, report: VerificationReport) -> np.ndarray:
+    """P007: each parent gid owned by exactly one partition.
+
+    Returns the per-parent-state hot mask (True = hot, False = cold or
+    unowned) used by the edge-direction checks.
+    """
+    n_parent = p.parent.n_states
+    owner = np.zeros(n_parent, dtype=np.int8)  # 0 none, 1 hot, 2 cold
+    hot_mask = np.zeros(n_parent, dtype=bool)
+    for hot_gid, parent_gid in enumerate(p.hot_to_parent):
+        if p.hot_is_intermediate[hot_gid]:
+            continue
+        if not 0 <= parent_gid < n_parent:
+            report.emit(
+                "SPAP-P007",
+                f"hot state {hot_gid} maps to missing parent state {parent_gid}",
+            )
+            continue
+        if owner[parent_gid]:
+            report.emit(
+                "SPAP-P007",
+                f"parent state {parent_gid} claimed twice (again by hot {hot_gid})",
+            )
+        owner[parent_gid] = 1
+        hot_mask[parent_gid] = True
+    for cold_gid, parent_gid in enumerate(p.cold_to_parent):
+        if not 0 <= parent_gid < n_parent:
+            report.emit(
+                "SPAP-P007",
+                f"cold state {cold_gid} maps to missing parent state {parent_gid}",
+            )
+            continue
+        if owner[parent_gid]:
+            side = "hot" if owner[parent_gid] == 1 else "cold"
+            report.emit(
+                "SPAP-P007",
+                f"parent state {parent_gid} claimed twice ({side}, then cold {cold_gid})",
+            )
+        owner[parent_gid] = 2
+    missing = np.flatnonzero(owner == 0)
+    for parent_gid in missing[:20]:
+        report.emit(
+            "SPAP-P007",
+            f"parent state {int(parent_gid)} belongs to neither partition",
+        )
+    if missing.size > 20:
+        report.emit(
+            "SPAP-P007",
+            f"... and {missing.size - 20} more unowned parent states",
+        )
+    return hot_mask
+
+
+def _check_flags_and_translation(
+    p: PartitionedNetwork, report: VerificationReport
+) -> None:
+    """P005/P006/P008: flags, translation table, report codes, cold starts."""
+    flagged = {int(g) for g in np.flatnonzero(p.hot_is_intermediate)}
+    mapped = {int(g) for g in np.flatnonzero(p.hot_to_parent < 0)}
+    for gid in sorted(flagged ^ mapped):
+        report.emit(
+            "SPAP-P005",
+            f"hot state {gid}: intermediate flag and parent mapping disagree "
+            f"(flagged={gid in flagged}, unmapped={gid in mapped})",
+        )
+    keys = set(p.translation)
+    for gid in sorted(flagged - keys):
+        report.emit(
+            "SPAP-P005",
+            f"intermediate hot state {gid} has no translation-table entry",
+        )
+    for gid in sorted(keys - flagged):
+        report.emit(
+            "SPAP-P005",
+            f"translation entry from non-intermediate hot state {gid}",
+        )
+    for hot_gid, cold_gid in sorted(p.translation.items()):
+        if not 0 <= cold_gid < p.cold.n_states:
+            report.emit(
+                "SPAP-P005",
+                f"translation {hot_gid} -> {cold_gid} targets a missing cold state",
+            )
+
+    for gid, _a, state in p.hot.global_states():
+        is_marked = state.report_code == INTERMEDIATE_CODE
+        is_flagged = gid < len(p.hot_is_intermediate) and bool(p.hot_is_intermediate[gid])
+        if is_flagged and (not is_marked or not state.reporting):
+            report.emit(
+                "SPAP-P006",
+                f"hot intermediate {gid} is not a reporting INTERMEDIATE_CODE state",
+                location=f"hot state {gid}",
+            )
+        elif is_marked and not is_flagged:
+            report.emit(
+                "SPAP-P006",
+                f"hot state {gid} carries INTERMEDIATE_CODE but is not flagged",
+                location=f"hot state {gid}",
+            )
+    for gid, _a, state in p.cold.global_states():
+        if state.report_code == INTERMEDIATE_CODE:
+            report.emit(
+                "SPAP-P006",
+                f"cold state {gid} carries INTERMEDIATE_CODE",
+                location=f"cold state {gid}",
+            )
+        if state.start is not StartKind.NONE:
+            report.emit(
+                "SPAP-P008",
+                f"cold state {gid} is a start state ({state.start.value})",
+                location=f"cold state {gid}",
+            )
+    for gid, _a, state in p.parent.global_states():
+        if state.report_code == INTERMEDIATE_CODE:
+            report.emit(
+                "SPAP-P006",
+                f"parent state {gid} carries INTERMEDIATE_CODE",
+                location=f"parent state {gid}",
+            )
+
+
+def _check_sccs(
+    p: PartitionedNetwork, hot_mask: np.ndarray, report: VerificationReport
+) -> None:
+    """P001: every SCC entirely hot or entirely cold."""
+    offsets = p.parent.offsets()
+    for index, automaton in enumerate(p.parent.automata):
+        scc = p.topology.per_automaton[index].scc_id
+        base = offsets[index]
+        local_hot = hot_mask[base : base + automaton.n_states]
+        if automaton.n_states != scc.shape[0]:
+            report.emit(
+                "SPAP-P001",
+                f"topology has {scc.shape[0]} states for automaton {index} "
+                f"with {automaton.n_states}",
+                location=f"automaton {index}",
+            )
+            continue
+        n_sccs = int(scc.max()) + 1 if scc.size else 0
+        hot_members = np.zeros(n_sccs, dtype=np.int64)
+        members = np.bincount(scc, minlength=n_sccs)
+        np.add.at(hot_members, scc, local_hot.astype(np.int64))
+        for component in np.flatnonzero((hot_members > 0) & (hot_members < members)):
+            report.emit(
+                "SPAP-P001",
+                f"SCC {int(component)} has {int(hot_members[component])}/"
+                f"{int(members[component])} members hot",
+                location=f"automaton {index}",
+            )
+
+
+def _hot_adjacency(p: PartitionedNetwork) -> Tuple[List[List[int]], List[int]]:
+    """Per hot automaton: local successor lists and local→global bases."""
+    preds: List[List[int]] = [[] for _ in range(p.hot.n_states)]
+    bases = p.hot.offsets()
+    for index, automaton in enumerate(p.hot.automata):
+        base = bases[index]
+        for src, dst in automaton.edges():
+            preds[base + dst].append(base + src)
+    return preds, bases
+
+
+def _check_edges(
+    p: PartitionedNetwork, hot_mask: np.ndarray, report: VerificationReport
+) -> None:
+    """P002/P003/P004/P009/P010: edge direction, preservation, intermediates."""
+    parent_offsets = p.parent.offsets()
+    hot_offsets = p.hot.offsets()
+    cold_offsets = p.cold.offsets()
+
+    # Parent gid -> partition gid for the non-intermediate sides.
+    parent_to_hot: Dict[int, int] = {}
+    for hot_gid, parent_gid in enumerate(p.hot_to_parent):
+        if parent_gid >= 0:
+            parent_to_hot[int(parent_gid)] = hot_gid
+    parent_to_cold: Dict[int, int] = {
+        int(parent_gid): cold_gid for cold_gid, parent_gid in enumerate(p.cold_to_parent)
+    }
+
+    # Cold gid -> intermediates translating to it, and hot-state predecessors.
+    enablers: Dict[int, List[int]] = {}
+    for hot_gid, cold_gid in p.translation.items():
+        enablers.setdefault(int(cold_gid), []).append(int(hot_gid))
+    hot_preds, _ = _hot_adjacency(p)
+
+    cold_automaton_of: Dict[int, int] = {
+        parent_index: cold_index
+        for cold_index, parent_index in enumerate(p.cold_parent_automata)
+    }
+
+    for index, automaton in enumerate(p.parent.automata):
+        base = parent_offsets[index]
+        hot_edges_expected: Set[Tuple[int, int]] = set()
+        cold_edges_expected: Set[Tuple[int, int]] = set()
+        cut_sources: Dict[int, List[int]] = {}  # target parent gid -> sources
+
+        for src, dst in automaton.edges():
+            gu, gv = base + src, base + dst
+            u_hot, v_hot = bool(hot_mask[gu]), bool(hot_mask[gv])
+            if u_hot and v_hot:
+                hot_edges_expected.add((gu, gv))
+            elif not u_hot and not v_hot:
+                cold_edges_expected.add((gu, gv))
+            elif u_hot and not v_hot:
+                cut_sources.setdefault(gv, []).append(gu)
+            else:
+                report.emit(
+                    "SPAP-P002",
+                    f"parent edge {src}->{dst} crosses cold→hot",
+                    location=f"automaton {index}",
+                )
+
+        # P009: the hot partition's real (non-intermediate) edges.
+        hot_automaton = p.hot.automata[index] if index < p.hot.n_automata else None
+        if hot_automaton is not None:
+            hot_base = hot_offsets[index]
+            hot_edges_actual: Set[Tuple[int, int]] = set()
+            for src, dst in hot_automaton.edges():
+                gsrc, gdst = hot_base + src, hot_base + dst
+                if p.hot_is_intermediate[gdst]:
+                    continue  # wiring into intermediates is checked via P010
+                if p.hot_is_intermediate[gsrc]:
+                    report.emit(
+                        "SPAP-P009",
+                        f"intermediate hot state {gsrc} has outgoing edge to {gdst}",
+                        location=f"automaton {index}",
+                    )
+                    continue
+                hot_edges_actual.add(
+                    (int(p.hot_to_parent[gsrc]), int(p.hot_to_parent[gdst]))
+                )
+            for gu, gv in sorted(hot_edges_expected - hot_edges_actual):
+                report.emit(
+                    "SPAP-P009",
+                    f"parent hot edge {gu}->{gv} missing from the hot partition",
+                    location=f"automaton {index}",
+                )
+            for gu, gv in sorted(hot_edges_actual - hot_edges_expected):
+                report.emit(
+                    "SPAP-P009",
+                    f"hot partition adds edge {gu}->{gv} absent from the parent",
+                    location=f"automaton {index}",
+                )
+
+        cold_index = cold_automaton_of.get(index)
+        if cold_index is not None:
+            cold_automaton = p.cold.automata[cold_index]
+            cold_base = cold_offsets[cold_index]
+            cold_edges_actual = {
+                (
+                    int(p.cold_to_parent[cold_base + src]),
+                    int(p.cold_to_parent[cold_base + dst]),
+                )
+                for src, dst in cold_automaton.edges()
+            }
+            for gu, gv in sorted(cold_edges_expected - cold_edges_actual):
+                report.emit(
+                    "SPAP-P009",
+                    f"parent cold edge {gu}->{gv} missing from the cold partition",
+                    location=f"automaton {index}",
+                )
+            for gu, gv in sorted(cold_edges_actual - cold_edges_expected):
+                report.emit(
+                    "SPAP-P009",
+                    f"cold partition adds edge {gu}->{gv} absent from the parent",
+                    location=f"automaton {index}",
+                )
+        elif cold_edges_expected:
+            report.emit(
+                "SPAP-P009",
+                f"automaton {index} has cold states but no cold partition",
+                location=f"automaton {index}",
+            )
+
+        # P003/P004/P010: every cut target is served by intermediates.
+        for gv, sources in sorted(cut_sources.items()):
+            cold_gid = parent_to_cold.get(gv)
+            if cold_gid is None:
+                continue  # already a P007 finding
+            a_index, sid = p.parent.locate(gv)
+            target_state = p.parent.automata[a_index].state(sid)
+            ims = enablers.get(cold_gid, [])
+            if not ims:
+                report.emit(
+                    "SPAP-P003",
+                    f"cut target parent state {gv} (cold {cold_gid}) has no "
+                    f"intermediate reporting state",
+                    location=f"automaton {index}",
+                )
+                continue
+            covered: Set[int] = set()
+            for im in ims:
+                im_automaton, _ = p.hot.locate(im)
+                if im_automaton != index:
+                    report.emit(
+                        "SPAP-P010",
+                        f"intermediate {im} for parent state {gv} lives in hot "
+                        f"automaton {im_automaton}, not {index}",
+                        location=f"automaton {index}",
+                    )
+                    continue
+                im_state = p.hot.automata[im_automaton].state(
+                    im - hot_offsets[im_automaton]
+                )
+                if im_state.symbol_set != target_state.symbol_set:
+                    report.emit(
+                        "SPAP-P004",
+                        f"intermediate {im} accepts a different symbol-set than "
+                        f"its cold target (parent state {gv})",
+                        location=f"automaton {index}",
+                    )
+                covered.update(hot_preds[im])
+            required = {parent_to_hot[gu] for gu in sources if gu in parent_to_hot}
+            for hot_gid in sorted(required - covered):
+                report.emit(
+                    "SPAP-P010",
+                    f"hot source {hot_gid} of cut edge to parent state {gv} feeds "
+                    f"no intermediate for that target",
+                    location=f"automaton {index}",
+                )
+
+
+def verify_partition(
+    partitioned: PartitionedNetwork, *, subject: Optional[str] = None
+) -> VerificationReport:
+    """Prove the §IV-C partition invariants (rules SPAP-P001..P010)."""
+    name = subject if subject is not None else (
+        partitioned.parent.name or "partition"
+    )
+    report = VerificationReport(subject=f"{name} [partition]")
+    if not _consistent_shapes(partitioned, report):
+        return report  # arrays unusable; deeper checks would only crash
+    hot_mask = _check_cover(partitioned, report)
+    _check_flags_and_translation(partitioned, report)
+    _check_sccs(partitioned, hot_mask, report)
+    _check_edges(partitioned, hot_mask, report)
+    return report

@@ -195,7 +195,9 @@ def _random_patterns(rng: np.random.Generator, lengths: List[int], alphabet: byt
     return [table[rng.integers(0, table.size, size=l)].tobytes() for l in lengths]
 
 
-def _token_patterns(rng: np.random.Generator, lengths: List[int], tokens: List[bytes]) -> List[bytes]:
+def _token_patterns(
+    rng: np.random.Generator, lengths: List[int], tokens: List[bytes]
+) -> List[bytes]:
     """Rule contents assembled from the shared token dictionary."""
     out = []
     for length in lengths:

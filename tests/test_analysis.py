@@ -34,7 +34,10 @@ class TestSCC:
         """The paper's Fig 4: S4 and S5 form one SCC sharing an order."""
         a = Automaton("fig4")
         sym = SymbolSet.single("a")
-        ids = [a.add_state(sym, start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE) for i in range(6)]
+        ids = [
+            a.add_state(sym, start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE)
+            for i in range(6)
+        ]
         edges = [(0, 1), (1, 2), (0, 3), (3, 4), (4, 3), (2, 5), (4, 5)]
         for src, dst in edges:
             a.add_edge(ids[src], ids[dst])

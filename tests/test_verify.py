@@ -1,0 +1,399 @@
+"""Tests for the static verifier (repro.verify): each malformed fixture must
+trigger its documented rule code, every registry app must verify clean, and
+the pipeline must refuse to simulate an invalid partition unless asked not
+to verify."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.ap.batching import NetworkSlice, batch_network, slice_network
+from repro.core.partition import INTERMEDIATE_CODE, partition_network
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import AppRun
+from repro.nfa.automaton import Automaton, Network, StartKind
+from repro.nfa.symbolset import SymbolSet
+from repro.verify import (
+    RULES,
+    Severity,
+    VerificationError,
+    verify_app,
+    verify_batch_plan,
+    verify_network,
+    verify_partition,
+)
+from repro.workloads.registry import AppSpec, PaperStats, app_names
+from repro.workloads.inputs import uniform_bytes
+
+
+def chain(n=6, name="chain", start=StartKind.ALL_INPUT, reporting=True):
+    """a -> a -> ... -> a, reporting at the end."""
+    automaton = Automaton(name)
+    prev = automaton.add_state(SymbolSet.from_symbols(b"a"), start=start)
+    for _ in range(n - 1):
+        cur = automaton.add_state(SymbolSet.from_symbols(b"a"))
+        automaton.add_edge(prev, cur)
+        prev = cur
+    if reporting:
+        automaton.state(prev).reporting = True
+    return automaton
+
+
+def one_chain_network(n=6):
+    network = Network("fixture")
+    network.add(chain(n))
+    return network
+
+
+def cut_partition(n=6, k=3):
+    """A valid hot/cold partition of one n-state chain cut at layer k."""
+    return partition_network(one_chain_network(n), [k])
+
+
+class TestRuleRegistry:
+    def test_codes_are_stable_and_documented(self):
+        assert all(code.startswith("SPAP-") for code in RULES)
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.title and rule.hint and rule.paper.startswith("§")
+
+    def test_passes_cover_three_prefixes(self):
+        prefixes = {code.split("-")[1][0] for code in RULES}
+        assert prefixes == {"N", "P", "B"}
+
+
+class TestNetworkLint:
+    def test_clean_chain(self):
+        report = verify_network(one_chain_network())
+        assert report.ok and not report.diagnostics
+
+    def test_dangling_edge_n001(self):
+        automaton = chain(3)
+        automaton._succ[0].append(9)  # bypass add_edge's validation
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N001" in report.codes()
+        assert not report.ok
+
+    def test_empty_symbol_set_n002(self):
+        automaton = chain(3)
+        sid = automaton.add_state(SymbolSet.empty())
+        automaton.add_edge(0, sid)
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N002" in report.codes()
+
+    def test_no_start_state_n003(self):
+        automaton = chain(3, start=StartKind.NONE)
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N003" in report.codes()
+
+    def test_startless_allowed_for_partition_fragments(self):
+        automaton = chain(3, start=StartKind.NONE)
+        report = verify_network(Network("cold", [automaton]), require_start=False)
+        assert "SPAP-N003" not in report.codes()
+
+    def test_unreachable_state_n004_is_warning(self):
+        automaton = chain(3)
+        automaton.add_state(SymbolSet.from_symbols(b"x"))  # no in-edges
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N004" in report.codes()
+        assert report.ok  # warnings do not fail verification
+
+    def test_dead_state_n005(self):
+        automaton = chain(3)
+        dead = automaton.add_state(SymbolSet.from_symbols(b"x"))
+        automaton.add_edge(0, dead)  # reachable, but reports nothing
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N005" in report.codes()
+
+    def test_mixed_start_kinds_n006(self):
+        automaton = chain(3)
+        extra = automaton.add_state(
+            SymbolSet.from_symbols(b"a"), start=StartKind.START_OF_DATA
+        )
+        automaton.add_edge(extra, 1)
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N006" in report.codes()
+
+    def test_eod_without_reporting_n007(self):
+        automaton = chain(3)
+        automaton.state(1).eod = True
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N007" in report.codes()
+
+    def test_desynced_sid_n008(self):
+        automaton = chain(3)
+        automaton.state(1).sid = 5
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N008" in report.codes()
+
+    def test_empty_automaton_n009(self):
+        report = verify_network(Network("bad", [Automaton("hollow")]))
+        assert report.codes() == ["SPAP-N009"]
+
+    def test_no_reporting_state_n010(self):
+        automaton = chain(3, reporting=False)
+        report = verify_network(Network("bad", [automaton]))
+        assert "SPAP-N010" in report.codes()
+        assert report.ok
+
+
+class TestPartitionChecker:
+    def test_valid_partition_is_clean(self):
+        report = verify_partition(cut_partition())
+        assert report.ok and not report.diagnostics
+
+    def test_split_scc_p001(self):
+        partitioned = cut_partition()
+        # Doctor the topology so a hot state and a cold state "share" an SCC.
+        partitioned.topology.per_automaton[0].scc_id = np.array([0, 1, 2, 2, 3, 4])
+        report = verify_partition(partitioned)
+        assert "SPAP-P001" in report.codes()
+
+    def test_cold_to_hot_edge_p002(self):
+        partitioned = cut_partition()
+        partitioned.parent.automata[0].add_edge(5, 1)  # cold state -> hot state
+        report = verify_partition(partitioned)
+        assert "SPAP-P002" in report.codes()
+
+    def test_missing_intermediate_p003(self):
+        partitioned = cut_partition()
+        (im_gid,) = list(partitioned.translation)
+        del partitioned.translation[im_gid]
+        report = verify_partition(partitioned)
+        assert "SPAP-P003" in report.codes()
+        assert "SPAP-P005" in report.codes()  # flagged intermediate, no entry
+
+    def test_wrong_intermediate_symbols_p004(self):
+        partitioned = cut_partition()
+        (im_gid,) = list(partitioned.translation)
+        a_index, sid = partitioned.hot.locate(im_gid)
+        partitioned.hot.automata[a_index].state(sid).symbol_set = (
+            SymbolSet.from_symbols(b"z")
+        )
+        report = verify_partition(partitioned)
+        assert "SPAP-P004" in report.codes()
+
+    def test_flag_mapping_disagreement_p005(self):
+        partitioned = cut_partition()
+        partitioned.hot_is_intermediate[1] = True  # a real state, now "intermediate"
+        report = verify_partition(partitioned)
+        assert "SPAP-P005" in report.codes()
+
+    def test_intermediate_code_in_cold_p006(self):
+        partitioned = cut_partition()
+        partitioned.cold.automata[0].state(0).report_code = INTERMEDIATE_CODE
+        report = verify_partition(partitioned)
+        assert "SPAP-P006" in report.codes()
+
+    def test_broken_cover_p007(self):
+        partitioned = cut_partition()
+        partitioned.cold_to_parent[0] = 0  # claims a state the hot side owns
+        report = verify_partition(partitioned)
+        assert "SPAP-P007" in report.codes()
+
+    def test_start_leaked_cold_p008(self):
+        partitioned = cut_partition()
+        partitioned.cold.automata[0].state(0).start = StartKind.ALL_INPUT
+        report = verify_partition(partitioned)
+        assert "SPAP-P008" in report.codes()
+
+    def test_edge_divergence_p009(self):
+        partitioned = cut_partition()
+        partitioned.hot.automata[0].add_edge(0, 2)  # absent from the parent
+        report = verify_partition(partitioned)
+        assert "SPAP-P009" in report.codes()
+
+    def test_unwired_intermediate_p010(self):
+        partitioned = cut_partition()
+        (im_gid,) = list(partitioned.translation)
+        _, im_sid = partitioned.hot.locate(im_gid)
+        partitioned.hot.automata[0]._succ[2].remove(im_sid)
+        report = verify_partition(partitioned)
+        assert "SPAP-P010" in report.codes()
+
+    def test_strict_constructor_mode(self):
+        partitioned = partition_network(one_chain_network(), [3], strict=True)
+        assert partitioned.hot.n_states == 4  # 3 hot + 1 intermediate
+
+
+class TestBatchPlanChecker:
+    def setup_method(self):
+        self.parent = Network("plan")
+        for index, n in enumerate([4, 4, 2]):
+            self.parent.add(chain(n, name=f"nfa{index}"))
+
+    def test_clean_plan(self):
+        plan = batch_network(self.parent, 8, strict=True)
+        report = verify_batch_plan(self.parent, plan, 8)
+        assert report.ok and not report.diagnostics
+
+    def test_bins_form(self):
+        report = verify_batch_plan(self.parent, [[0, 1], [2]], 8)
+        assert report.ok
+
+    def test_oversized_batch_b001(self):
+        report = verify_batch_plan(self.parent, [[0, 1, 2]], 5)
+        assert "SPAP-B001" in report.codes()
+
+    def test_split_nfa_b002(self):
+        report = verify_batch_plan(self.parent, [[0, 1], [1, 2]], 100)
+        assert "SPAP-B002" in report.codes()
+
+    def test_missing_nfa_b002(self):
+        report = verify_batch_plan(self.parent, [[0]], 100)
+        assert "SPAP-B002" in report.codes()
+
+    def test_unknown_index_b002(self):
+        report = verify_batch_plan(self.parent, [[0, 7], [1, 2]], 100)
+        assert "SPAP-B002" in report.codes()
+
+    def test_wrong_global_ids_b003(self):
+        batch = slice_network(self.parent, [1])
+        tampered = NetworkSlice(
+            network=batch.network, global_ids=np.arange(4, dtype=np.int64)
+        )
+        report = verify_batch_plan(
+            self.parent, [tampered, slice_network(self.parent, [0, 2])], 100
+        )
+        assert "SPAP-B003" in report.codes()
+
+    def test_roundtrip_failure_b004(self):
+        batch = slice_network(self.parent, [1])
+        tampered = NetworkSlice(
+            network=batch.network, global_ids=batch.global_ids[::-1].copy()
+        )
+        report = verify_batch_plan(
+            self.parent, [tampered, slice_network(self.parent, [0, 2])], 100
+        )
+        assert "SPAP-B004" in report.codes()
+
+
+# -- end-to-end: every registry application must be clean ---------------------
+
+_APP_CONFIG = ExperimentConfig(scale=16, input_len=1024)
+
+
+@pytest.mark.parametrize("abbr", app_names())
+def test_registry_app_verifies_clean(abbr):
+    report = verify_app(abbr, _APP_CONFIG)
+    assert report.ok, "\n" + report.render_text(verbose=True)
+
+
+# -- pipeline fail-fast -------------------------------------------------------
+
+
+def _toy_spec():
+    def build(_spec, _scale):
+        network = Network("toy")
+        network.add(chain(20, name="deep"))
+        return network
+
+    def make_input(_spec, _network, length, seed):
+        return uniform_bytes(length, seed)
+
+    return AppSpec(
+        abbr="TOY",
+        full_name="toy fixture",
+        group="low",
+        paper=PaperStats(20, 1, 20, 1),
+        description="pipeline fail-fast fixture",
+        builder=build,
+        input_builder=make_input,
+    )
+
+
+class TestPipelineFailFast:
+    CFG = ExperimentConfig(scale=1536, input_len=256)  # AP capacity: 16 STEs
+
+    def _tampered_run(self, config):
+        run = AppRun(_toy_spec(), config)
+        _ = run.topology  # cache the honest topology...
+        run.network.automata[0].add_edge(19, 0)  # ...then sneak in a back-edge
+        return run
+
+    def test_refuses_invalid_partition(self):
+        run = self._tampered_run(self.CFG)
+        with pytest.raises(VerificationError) as excinfo:
+            run.partition(0.01, self.CFG.half_core)
+        assert excinfo.value.report.by_code("SPAP-P002")
+
+    def test_no_verify_escape_hatch(self):
+        from dataclasses import replace
+
+        run = self._tampered_run(replace(self.CFG, verify=False))
+        partitioned, bins = run.partition(0.01, self.CFG.half_core)
+        assert partitioned.cold.n_states > 0  # simulated anyway, as requested
+
+    def test_valid_app_passes_under_verification(self):
+        run = AppRun(_toy_spec(), self.CFG)
+        partitioned, _bins = run.partition(0.01, self.CFG.half_core)
+        assert partitioned.parent.n_states == 20
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"PYTHONPATH": "src", "REPRO_SCALE": "64", "REPRO_INPUT": "1024",
+             "PATH": "/usr/bin:/bin"},
+        cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+    )
+
+
+class TestVerifyCLI:
+    def test_verify_single_app(self):
+        result = _cli("verify", "Bro217")
+        assert result.returncode == 0
+        assert "Bro217: OK" in result.stdout
+
+    def test_verify_json(self):
+        result = _cli("verify", "Bro217", "--json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload[0]["subject"] == "Bro217"
+        assert payload[0]["ok"] is True
+
+    def test_verify_no_apps_is_usage_error(self):
+        result = _cli("verify")
+        assert result.returncode == 2
+
+    def test_verify_unknown_app_suggests(self):
+        result = _cli("verify", "Bro21")
+        assert result.returncode == 2
+        assert "did you mean" in result.stderr
+        assert "Bro217" in result.stderr
+
+    def test_run_app_unknown_suggests(self):
+        result = _cli("run-app", "Ferm")
+        assert result.returncode == 2
+        assert "did you mean" in result.stderr
+        assert "Fermi" in result.stderr
+
+    def test_figure_unknown_suggests(self):
+        result = _cli("figure", "fig9")
+        assert result.returncode == 2
+        assert "did you mean" in result.stderr
+
+
+class TestDiagnosticsRendering:
+    def test_severity_and_text(self):
+        automaton = chain(3)
+        automaton._succ[0].append(9)
+        report = verify_network(Network("bad", [automaton]))
+        assert any(d.severity is Severity.ERROR for d in report.diagnostics)
+        text = report.render_text(verbose=True)
+        assert "SPAP-N001" in text and "hint:" in text
+
+    def test_json_shape(self):
+        report = verify_network(one_chain_network())
+        payload = report.to_json()
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
