@@ -3,20 +3,58 @@
 Not a paper figure: these keep the fast engine honest (the experiment
 sweep's cost is dominated by it) and demonstrate pytest-benchmark's
 steady-state measurement on hot loops.
+
+Run directly, this module is the benchmark-trajectory harness::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # write BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --check  # CI smoke assertion
+
+The harness measures MB/s for the four engines (reference, bit-packed,
+matrix, multi-stream) on the standard workload and records the *speedup
+ratios* against a live re-run of the seed hot loop (``_seed_run`` below, a
+verbatim copy of the pre-optimization engine).  Ratios of two measurements
+taken on the same machine moments apart are machine-independent, so
+``--check`` can compare today's ratio against the committed one without
+caring how fast the CI runner is.  See DESIGN.md §"Benchmark trajectory".
 """
 
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from repro.sim import compile_network, run
-from repro.workloads.inputs import uniform_bytes
+from repro import bitops
+from repro.sim import (
+    compile_network,
+    matrix_compile,
+    matrix_run,
+    reference_run,
+    reports_equal,
+    run,
+    run_multi,
+)
+from repro.sim.result import reports_to_array
 from repro.workloads.registry import get_app
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+APP, SCALE, INPUT_LEN, K_STREAMS = "Snort", 64, 2048, 8
+#: ``--check`` passes while live ratios stay above this fraction of the
+#: committed ones (CI runners are noisy; ratios still drift a little).
+TOLERANCE = 0.5
+#: Hard floors from the acceptance criteria, enforced regardless of drift.
+MIN_BITPACKED_VS_SEED = 1.5
+MIN_MULTISTREAM_VS_K_SCALAR = 1.0
 
 
 @pytest.fixture(scope="module")
 def snort_compiled():
-    spec = get_app("Snort")
-    network = spec.build(64)
-    return compile_network(network), spec.make_input(network, 2048)
+    spec = get_app(APP)
+    network = spec.build(SCALE)
+    return compile_network(network), spec.make_input(network, INPUT_LEN)
 
 
 def test_engine_throughput_snort(benchmark, snort_compiled):
@@ -31,8 +69,166 @@ def test_engine_throughput_with_tracking(benchmark, snort_compiled):
     assert result.hot_count() > 0
 
 
+def test_multistream_throughput(benchmark, snort_compiled):
+    compiled, data = snort_compiled
+    streams = [data] * K_STREAMS
+    results = benchmark(lambda: run_multi(compiled, streams, track_enabled=False))
+    assert len(results) == K_STREAMS
+
+
 def test_compile_network_cost(benchmark):
     spec = get_app("Brill")
     network = spec.build(64)
     compiled = benchmark(lambda: compile_network(network))
     assert compiled.n_states == network.n_states
+
+
+# --------------------------------------------------------------------------
+# Benchmark-trajectory harness (python benchmarks/bench_engine_throughput.py)
+# --------------------------------------------------------------------------
+
+
+def _seed_run(compiled, input_data):
+    """The seed repo's scalar hot loop, kept verbatim as the live baseline.
+
+    Re-measuring it alongside the current engine turns absolute MB/s (which
+    depends on the machine) into a speedup ratio (which does not).
+    """
+    symbols = np.frombuffer(bytes(input_data), dtype=np.uint8)
+    enabled = compiled.initial_enabled().copy()
+    reports = []
+    accept = compiled.accept
+    start_all = compiled.start_all
+    report_mask = compiled.report_mask
+    mid_report_mask = report_mask & ~compiled.eod_mask
+    last = int(symbols.size) - 1
+
+    for position in range(symbols.size):
+        active = enabled & accept[symbols[position]]
+        hits = active & (report_mask if position == last else mid_report_mask)
+        if hits.any():
+            for gid in bitops.to_indices(hits):
+                reports.append((position, int(gid)))
+        enabled = start_all.copy()
+        if active.any():
+            succ = compiled.successors_of(bitops.to_indices(active))
+            bitops.set_indices(enabled, succ)
+    return reports_to_array(reports)
+
+
+def _mb_per_s(fn, n_bytes, repeats=3):
+    """Best-of-``repeats`` throughput of ``fn`` over ``n_bytes`` of input."""
+    best = float("inf")
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - began)
+    return n_bytes / best / 1e6
+
+
+def collect_metrics(repeats=3):
+    """Measure every engine on the standard workload; returns the JSON dict."""
+    spec = get_app(APP)
+    network = spec.build(SCALE)
+    compiled = compile_network(network)
+    data = spec.make_input(network, INPUT_LEN)
+    n = len(data)
+    streams = [data] * K_STREAMS
+
+    seed_result = _seed_run(compiled, data)
+    fast_result = run(compiled, data, track_enabled=False)
+    reference_result = reference_run(network, data)
+    matrix_result = matrix_run(matrix_compile(network), data)
+    multi_results = run_multi(compiled, streams, track_enabled=False)
+    identical = all(
+        reports_equal(fast_result.reports, other)
+        for other in [seed_result, reference_result.reports, matrix_result.reports]
+        + [r.reports for r in multi_results]
+    )
+
+    seed = _mb_per_s(lambda: _seed_run(compiled, data), n, repeats)
+    bitpacked = _mb_per_s(lambda: run(compiled, data, track_enabled=False), n, repeats)
+    reference = _mb_per_s(lambda: reference_run(network, data), n, repeats=1)
+    mat = matrix_compile(network)
+    matrix = _mb_per_s(lambda: matrix_run(mat, data), n, repeats)
+    k_scalar = _mb_per_s(
+        lambda: [run(compiled, s, track_enabled=False) for s in streams],
+        n * K_STREAMS, repeats,
+    )
+    multistream = _mb_per_s(
+        lambda: run_multi(compiled, streams, track_enabled=False),
+        n * K_STREAMS, repeats,
+    )
+
+    return {
+        "workload": {
+            "app": APP,
+            "scale": SCALE,
+            "input_len": n,
+            "n_states": compiled.n_states,
+            "k_streams": K_STREAMS,
+        },
+        "throughput_mb_s": {
+            "seed_scalar": round(seed, 3),
+            "reference": round(reference, 3),
+            "bitpacked": round(bitpacked, 3),
+            "matrix": round(matrix, 3),
+            "k_scalar_aggregate": round(k_scalar, 3),
+            "multistream_aggregate": round(multistream, 3),
+        },
+        "speedup": {
+            "bitpacked_vs_seed": round(bitpacked / seed, 3),
+            "matrix_vs_seed": round(matrix / seed, 3),
+            "multistream_vs_k_scalar": round(multistream / k_scalar, 3),
+        },
+        "reports_identical_across_engines": identical,
+    }
+
+
+def _check(recorded, live):
+    """CI smoke assertions: correctness exactly, performance within drift."""
+    failures = []
+    if not live["reports_identical_across_engines"]:
+        failures.append("engines no longer produce identical reports")
+    for key, floor in [
+        ("bitpacked_vs_seed", MIN_BITPACKED_VS_SEED),
+        ("multistream_vs_k_scalar", MIN_MULTISTREAM_VS_K_SCALAR),
+    ]:
+        old = recorded["speedup"][key]
+        new = live["speedup"][key]
+        need = max(floor, old * TOLERANCE)
+        if new < need:
+            failures.append(
+                f"{key} regressed: {new:.2f}x live vs {old:.2f}x recorded "
+                f"(needs >= {need:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="engine benchmark trajectory")
+    parser.add_argument("--check", action="store_true",
+                        help="re-measure and assert no regression vs "
+                             f"{BENCH_PATH.name} (exit 1 on failure)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per engine (best-of)")
+    args = parser.parse_args(argv)
+
+    live = collect_metrics(repeats=args.repeats)
+    print(json.dumps(live, indent=2))
+    if not args.check:
+        BENCH_PATH.write_text(json.dumps(live, indent=2) + "\n")
+        print(f"wrote {BENCH_PATH}", file=sys.stderr)
+        return 0
+
+    recorded = json.loads(BENCH_PATH.read_text())
+    failures = _check(recorded, live)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark smoke check passed", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

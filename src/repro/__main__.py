@@ -6,6 +6,8 @@ Commands:
 * ``run-app ABBR`` — run one application through all three scenarios.
 * ``figure NAME`` — regenerate one paper figure/table (e.g. ``fig10``).
 * ``report [OUT.md]`` — regenerate the full EXPERIMENTS.md.
+* ``sweep [ABBR ...]`` — run the whole workload (or a subset) through the
+  pipeline, fanned across cores with a process pool.
 * ``verify [ABBR ...|--all]`` — static verification (the automata
   sanitizer): lint networks and prove the partition/batch-plan invariants
   without running any simulation.
@@ -118,6 +120,37 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json as _json
+    import time as _time
+
+    from .experiments.sweep import SweepError, render_sweep, run_sweep
+
+    targets = args.apps or None
+    if targets:
+        for abbr in targets:
+            if abbr not in APPS:
+                return _unknown_name("application", abbr, app_names())
+    began = _time.perf_counter()
+    try:
+        rows = run_sweep(targets, _config_for(args),
+                         fraction=args.profile, jobs=args.jobs)
+    except SweepError as err:
+        print(f"sweep failed at {err} (other applications were not run to "
+              "completion; --no-verify skips the fail-fast checks)",
+              file=sys.stderr)
+        return 1
+    elapsed = _time.perf_counter() - began
+    if args.json:
+        print(_json.dumps([row.to_json() for row in rows], indent=2))
+    else:
+        print(render_sweep(rows))
+        busy = sum(row.seconds for row in rows)
+        print(f"{len(rows)} applications in {elapsed:.1f}s wall "
+              f"({busy:.1f}s of per-app work)")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .verify.app import verify_app
 
@@ -177,6 +210,21 @@ def main(argv: Optional[list] = None) -> int:
     report_parser.add_argument("--no-verify", action="store_true",
                                help="skip fail-fast partition/batch verification")
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="run the whole workload in parallel across cores"
+    )
+    sweep_parser.add_argument("apps", nargs="*",
+                              help="application abbreviations (default: all)")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker processes (default: all cores; "
+                                   "1 = serial in-process)")
+    sweep_parser.add_argument("--profile", type=float, default=0.01,
+                              help="profiling fraction (default 0.01)")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit JSON rows instead of a table")
+    sweep_parser.add_argument("--no-verify", action="store_true",
+                              help="skip fail-fast partition/batch verification")
+
     verify_parser = sub.add_parser(
         "verify",
         help="statically verify applications (networks, partitions, batch plans)",
@@ -198,6 +246,7 @@ def main(argv: Optional[list] = None) -> int:
         "run-app": _cmd_run_app,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "sweep": _cmd_sweep,
         "verify": _cmd_verify,
     }
     return handlers[args.command](args)

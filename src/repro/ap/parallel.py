@@ -27,7 +27,8 @@ from ..nfa.analysis import analyze_network
 from ..nfa.automaton import Network, StartKind
 from ..nfa.transforms import duplicate_network
 from ..sim.compiled import compile_network
-from ..sim.engine import as_input_array, run
+from ..sim.engine import as_input_array
+from ..sim.multistream import run_multi
 from ..sim.result import reports_to_array
 from .batching import batch_network
 from .config import APConfig
@@ -94,9 +95,13 @@ def run_parallel_ap(
     duplicated = duplicate_network(network, segments)
     n_batches = len(batch_network(duplicated, config.capacity))
 
+    # All segments step through one compiled network in lock-step: a single
+    # multi-stream call replaces the per-segment scalar runs (the segments
+    # *are* the K concurrent lanes of the Parallel AP).
     segment_len = (n + segments - 1) // segments
     compiled = compile_network(network)
-    merged: List[np.ndarray] = []
+    windows: List[np.ndarray] = []
+    bounds: List[tuple] = []
     longest = 0
     for index in range(segments):
         begin = index * segment_len
@@ -104,9 +109,13 @@ def run_parallel_ap(
         if begin >= end:
             continue
         window_start = max(0, begin - overlap)
-        window = symbols[window_start:end]
-        longest = max(longest, int(window.size))
-        result = run(compiled, window, track_enabled=False)
+        windows.append(symbols[window_start:end])
+        bounds.append((window_start, begin, end))
+        longest = max(longest, end - window_start)
+    merged: List[np.ndarray] = []
+    for result, (window_start, begin, end) in zip(
+        run_multi(compiled, windows, track_enabled=False), bounds
+    ):
         if result.reports.size:
             reports = result.reports.copy()
             reports[:, 0] += window_start

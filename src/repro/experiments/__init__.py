@@ -17,6 +17,7 @@ from .figures import (
     table4_runtime_statistics,
 )
 from .pipeline import AppRun, clear_cache, get_run
+from .sweep import AppSweepRow, render_sweep, run_sweep
 from .tables import render_table
 
 __all__ = [
@@ -38,5 +39,8 @@ __all__ = [
     "AppRun",
     "clear_cache",
     "get_run",
+    "AppSweepRow",
+    "render_sweep",
+    "run_sweep",
     "render_table",
 ]

@@ -1,0 +1,160 @@
+"""Parallel all-application sweep: the 26-app workload fanned across cores.
+
+Every paper figure consumes some slice of the same per-application pipeline
+(build -> profile -> partition -> three scenarios).  This module runs that
+pipeline for many applications at once with a ``ProcessPoolExecutor``: each
+worker process keeps the ordinary :mod:`repro.experiments.pipeline`
+``AppRun`` cache, so the expensive stages of one application are computed
+exactly once no matter how many metrics the sweep extracts from it, and
+separate applications proceed on separate cores.
+
+``run_sweep(jobs=1)`` (or ``jobs=0``) degrades to a serial in-process sweep
+that shares the caller's ``AppRun`` cache — useful in tests and when the
+results will be reused by figure code in the same process.
+
+CLI: ``python -m repro sweep [APPS ...] [--jobs N] [--profile F] [--json]``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..workloads.registry import APPS, app_names
+from .config import ExperimentConfig, default_config
+from .pipeline import get_run
+from .tables import render_table
+
+__all__ = [
+    "AppSweepRow",
+    "SweepError",
+    "run_sweep",
+    "render_sweep",
+    "DEFAULT_PROFILE_FRACTION",
+]
+
+#: Profiling fraction used when none is given (the paper's 1% operating point).
+DEFAULT_PROFILE_FRACTION = 0.01
+
+
+class SweepError(RuntimeError):
+    """One application's pipeline failed; names the app (pool workers lose
+    that context otherwise).  In-process the original exception is
+    ``__cause__``; ``args`` holds ``(abbr, message)`` so the exception
+    survives pickling back across the process-pool boundary."""
+
+    def __init__(self, abbr: str, cause):
+        super().__init__(abbr, str(cause))
+        self.abbr = abbr
+
+    def __str__(self) -> str:
+        return f"{self.args[0]}: {self.args[1]}"
+
+
+@dataclass(frozen=True)
+class AppSweepRow:
+    """One application's sweep outcome (all scenarios, one profile point)."""
+
+    abbr: str
+    full_name: str
+    group: str
+    n_states: int
+    n_automata: int
+    hot_fraction: float
+    baseline_batches: int
+    baseline_cycles: int
+    spap_speedup: float
+    ap_cpu_speedup: float
+    resource_saving: float
+    seconds: float  # wall time spent computing this row
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def sweep_app(abbr: str, config: ExperimentConfig,
+              fraction: float = DEFAULT_PROFILE_FRACTION) -> AppSweepRow:
+    """Compute one application's row (cached via the pipeline's ``AppRun``)."""
+    if abbr not in APPS:
+        raise KeyError(f"unknown application {abbr!r}")
+    began = time.perf_counter()
+    app_run = get_run(abbr, config)
+    ap = config.half_core
+    baseline = app_run.baseline(ap)
+    row = AppSweepRow(
+        abbr=abbr,
+        full_name=app_run.spec.full_name,
+        group=app_run.spec.group,
+        n_states=app_run.network.n_states,
+        n_automata=app_run.network.n_automata,
+        hot_fraction=app_run.hot_fraction(),
+        baseline_batches=baseline.n_batches,
+        baseline_cycles=baseline.cycles,
+        spap_speedup=app_run.spap_speedup(fraction, ap),
+        ap_cpu_speedup=app_run.ap_cpu_speedup(fraction, ap),
+        resource_saving=app_run.resource_saving(fraction, ap),
+        seconds=time.perf_counter() - began,
+    )
+    return row
+
+
+def _sweep_worker(payload: Tuple[str, ExperimentConfig, float]) -> AppSweepRow:
+    """Top-level (picklable) worker: one application in one process."""
+    abbr, config, fraction = payload
+    try:
+        return sweep_app(abbr, config, fraction)
+    except Exception as err:
+        raise SweepError(abbr, err) from err
+
+
+def run_sweep(
+    apps: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fraction: float = DEFAULT_PROFILE_FRACTION,
+    jobs: Optional[int] = None,
+) -> List[AppSweepRow]:
+    """Sweep ``apps`` (default: the whole registry), ``jobs``-wide.
+
+    ``jobs=None`` uses every core; ``jobs<=1`` runs serially in-process
+    (sharing the caller's ``AppRun`` cache).  Rows come back in input order.
+    """
+    targets = list(apps) if apps is not None else app_names()
+    for abbr in targets:
+        if abbr not in APPS:
+            raise KeyError(f"unknown application {abbr!r}")
+    cfg = config or default_config()
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    payloads = [(abbr, cfg, fraction) for abbr in targets]
+    if jobs <= 1 or len(targets) <= 1:
+        return [_sweep_worker(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(targets))) as executor:
+        return list(executor.map(_sweep_worker, payloads))
+
+
+def render_sweep(rows: Sequence[AppSweepRow]) -> str:
+    """Human-readable sweep table (one row per application)."""
+    body = [
+        [
+            row.abbr,
+            row.group,
+            row.n_states,
+            row.n_automata,
+            f"{100.0 * row.hot_fraction:.1f}%",
+            row.baseline_batches,
+            f"{row.spap_speedup:.2f}x",
+            f"{row.ap_cpu_speedup:.2f}x",
+            f"{100.0 * row.resource_saving:.1f}%",
+            f"{row.seconds:.2f}s",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["App", "Group", "States", "NFAs", "Hot", "Batches",
+         "SpAP", "AP-CPU", "Saved", "Wall"],
+        body,
+    )

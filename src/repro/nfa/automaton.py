@@ -215,7 +215,32 @@ class Network:
     name: str = ""
     automata: List[Automaton] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # ``Network([automaton])`` used to bind the list to ``name`` and yield
+        # an empty network that silently simulated to zero reports.  Fail
+        # loudly instead: ``name`` must be a string and every entry of
+        # ``automata`` an :class:`Automaton`.
+        if not isinstance(self.name, str):
+            raise TypeError(
+                f"Network name must be a str, got {type(self.name).__name__}; "
+                "did you mean Network(automata=[...])?"
+            )
+        if not isinstance(self.automata, list):
+            raise TypeError(
+                f"Network automata must be a list, got {type(self.automata).__name__}"
+            )
+        for entry in self.automata:
+            if not isinstance(entry, Automaton):
+                raise TypeError(
+                    f"Network automata entries must be Automaton, "
+                    f"got {type(entry).__name__}"
+                )
+
     def add(self, automaton: Automaton) -> None:
+        if not isinstance(automaton, Automaton):
+            raise TypeError(
+                f"Network.add expects an Automaton, got {type(automaton).__name__}"
+            )
         self.automata.append(automaton)
 
     @property

@@ -4,6 +4,7 @@ from .compiled import CompiledNetwork, compile_network
 from .engine import EventRunResult, as_input_array, run, run_events
 from .hybrid import HybridResult, hybrid_run
 from .matrix import MatrixNetwork, matrix_compile, matrix_run
+from .multistream import run_multi
 from .reference import reference_run
 from .reports import DecodedReport, decode_reports, reports_by_code
 from .result import Report, SimResult, reports_equal, reports_to_array
@@ -15,6 +16,7 @@ __all__ = [
     "as_input_array",
     "run",
     "run_events",
+    "run_multi",
     "HybridResult",
     "hybrid_run",
     "reference_run",

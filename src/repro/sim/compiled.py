@@ -13,7 +13,7 @@ Compilation flattens a :class:`~repro.nfa.automaton.Network` into:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,15 @@ from .. import bitops
 from ..nfa.automaton import Network, StartKind
 from ..nfa.symbolset import ALPHABET_SIZE
 
-__all__ = ["CompiledNetwork", "compile_network", "gather_csr"]
+__all__ = ["CompiledNetwork", "compile_network", "gather_csr", "SUCC_MASK_BUDGET"]
+
+#: Memory budget (bytes) for the dense packed successor-mask matrix.  Above
+#: this the engines fall back to the CSR gather path; the matrix grows as
+#: ``n_states * n_words * 8`` and is only worth materializing when it fits
+#: comfortably in cache-adjacent memory.
+SUCC_MASK_BUDGET = 64 << 20
+
+_UNSET = object()
 
 
 @dataclass
@@ -46,6 +54,44 @@ class CompiledNetwork:
     def initial_enabled(self) -> np.ndarray:
         """Enabled set before the first symbol: all starts, both kinds."""
         return self.start_all | self.start_sod
+
+    def successor_masks(self) -> Optional[np.ndarray]:
+        """Dense packed successor matrix: row ``s`` is the bitset of ``s``'s
+        successors.  Lets the hot loop compute the next enabled vector as one
+        gather + ``bitwise_or.reduce`` instead of a CSR expansion and an
+        ``or.at`` scatter.  Returns ``None`` (and the engines fall back to
+        CSR) when the matrix would exceed :data:`SUCC_MASK_BUDGET`.
+
+        Computed lazily and cached on the instance.
+        """
+        cached = getattr(self, "_succ_masks", _UNSET)
+        if cached is _UNSET:
+            if self.n_states * self.n_words * 8 > SUCC_MASK_BUDGET:
+                cached = None
+            else:
+                masks = np.zeros((self.n_states, self.n_words), dtype=np.uint64)
+                counts = np.diff(self.indptr)
+                rows = np.repeat(np.arange(self.n_states, dtype=np.int64), counts)
+                np.bitwise_or.at(
+                    masks,
+                    (rows, self.indices >> 6),
+                    np.uint64(1) << (self.indices & 63).astype(np.uint64),
+                )
+                cached = masks
+            self._succ_masks = cached
+        return cached
+
+    def report_ints(self) -> Tuple[int, int]:
+        """``(report, mid_report)`` masks as Python ints (little-endian bit
+        order, bit ``g`` = global state ``g``) for cheap per-cycle report
+        checks; cached on the instance."""
+        cached = getattr(self, "_report_ints", None)
+        if cached is None:
+            full = int.from_bytes(self.report_mask.tobytes(), "little")
+            eod = int.from_bytes(self.eod_mask.tobytes(), "little")
+            cached = (full, full & ~eod)
+            self._report_ints = cached
+        return cached
 
 
 def gather_csr(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:

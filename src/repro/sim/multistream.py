@@ -1,0 +1,273 @@
+"""Multi-stream lock-step execution: K input streams through one network.
+
+The scalar engine (:func:`repro.sim.run`) pays a fixed amount of Python and
+NumPy-dispatch overhead *per input symbol*.  When many independent streams
+must be run through the *same* :class:`CompiledNetwork` — the Parallel-AP
+segments of one input, a batch of separate inputs in a serving scenario —
+that overhead multiplies by the stream count even though every stream
+executes the identical datapath.
+
+This module amortizes it: the K enabled vectors live in one 2-D
+``(K, n_words)`` uint64 bit matrix and every cycle advances *all* streams
+with a handful of whole-matrix NumPy operations (CAMA-style input-batched
+lock-step execution):
+
+* ``accept`` rows for the K current symbols are gathered with one
+  ``np.take``;
+* activation is a single matrix AND;
+* activated states across all streams are extracted from the flattened
+  matrix in one pass (flat bit ``b`` encodes stream ``b // (64*n_words)``,
+  state ``b % (64*n_words)``) — via a single Python big-int when the matrix
+  is small, via packed-word expansion when it is large;
+* successor propagation gathers packed successor masks for every activated
+  state and combines them per stream with one ``bitwise_or.reduceat`` over
+  the stream-sorted rows (CSR-expansion fallback for very large networks).
+
+Streams may have different lengths (ragged): a stream that ends simply goes
+dead — its lane is zeroed and contributes no further activity, reports, or
+hot-set accumulation.  Each stream's result is bit-identical to running it
+alone through :func:`repro.sim.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .. import bitops
+from .compiled import CompiledNetwork, gather_csr
+from .engine import as_input_array
+from .result import SimResult, reports_to_array
+
+__all__ = ["run_multi"]
+
+#: Use per-stream big-int bit extraction while each lane stays at most this
+#: many words and the stream count is moderate; beyond that, whole-matrix
+#: packed-word NumPy expansion wins.
+_BIGINT_WORD_LIMIT = 512
+_BIGINT_STREAM_LIMIT = 24
+
+
+def _pad_streams(streams: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """Stack streams into an ``(L, K)`` uint8 matrix (row = one position)."""
+    matrix = np.zeros((len(streams), length), dtype=np.uint8)
+    for row, stream in enumerate(streams):
+        matrix[row, : stream.size] = stream
+    # Row-per-position layout makes the per-cycle column access contiguous.
+    return np.ascontiguousarray(matrix.T)
+
+
+def _ragged_maps(lengths: Sequence[int]) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    """``position -> rows`` maps: rows that die there / consume their last
+    symbol there.  Ragged handling costs nothing for equal lengths."""
+    dying: Dict[int, List[int]] = {}
+    ending: Dict[int, List[int]] = {}
+    for row, length in enumerate(lengths):
+        dying.setdefault(length, []).append(row)
+        ending.setdefault(length - 1, []).append(row)
+    return dying, ending
+
+
+def run_multi(
+    compiled: CompiledNetwork,
+    streams: Sequence,
+    *,
+    track_enabled: bool = False,
+) -> List[SimResult]:
+    """Run ``streams`` through ``compiled`` in lock-step.
+
+    Returns one :class:`SimResult` per stream, in order, each identical to
+    ``run(compiled, stream, track_enabled=track_enabled)`` — reports use
+    stream-relative positions and ``ever_enabled`` covers only cycles in
+    which that stream consumed a symbol.
+    """
+    inputs = [as_input_array(stream) for stream in streams]
+    k = len(inputs)
+    n_words = compiled.n_words
+    if k == 0:
+        return []
+    lengths = [int(s.size) for s in inputs]
+    max_len = max(lengths)
+
+    reports: List[List] = [[] for _ in range(k)]
+    ever = np.zeros((k, n_words), dtype=np.uint64) if track_enabled else None
+    if max_len:
+        sym_rows = _pad_streams(inputs, max_len)
+        if n_words <= _BIGINT_WORD_LIMIT and k <= _BIGINT_STREAM_LIMIT:
+            _lockstep_bigint(compiled, sym_rows, lengths, reports, ever)
+        else:
+            _lockstep_packed(compiled, sym_rows, lengths, reports, ever)
+
+    zero = np.zeros(n_words, dtype=np.uint64)
+    return [
+        SimResult(
+            n_states=compiled.n_states,
+            n_symbols=lengths[row],
+            cycles=lengths[row],
+            reports=reports_to_array(reports[row]),
+            ever_enabled=ever[row].copy() if track_enabled else zero.copy(),
+        )
+        for row in range(k)
+    ]
+
+
+def _lockstep_bigint(
+    compiled: CompiledNetwork,
+    sym_rows: np.ndarray,
+    lengths: List[int],
+    reports: List[List],
+    ever,
+) -> None:
+    """Lock-step loop for small-to-medium state matrices.
+
+    Activation stays a whole-matrix NumPy AND; activated-bit extraction and
+    report masking happen on per-stream Python big-ints sliced out of one
+    ``tobytes`` of the activation matrix, so a quiet cycle costs three
+    whole-matrix NumPy calls plus one memcmp, and an active cycle adds only
+    per-active-stream work.
+    """
+    k = len(lengths)
+    n_words = compiled.n_words
+    stride = n_words * 8
+    accept = compiled.accept
+    start_all = compiled.start_all
+    succ_masks = compiled.successor_masks()
+    report_int, mid_report_int = compiled.report_ints()
+    has_reports = report_int != 0
+    has_eod = report_int != mid_report_int
+    dying, ending = _ragged_maps(lengths)
+    ending_sets = {position: set(rows) for position, rows in ending.items()}
+    zero_bytes = b"\x00" * (stride * k)
+    zero_chunk = b"\x00" * stride
+
+    start_rows = np.tile(start_all, (k, 1))
+    enabled = np.tile(compiled.initial_enabled(), (k, 1))
+    active = np.empty((k, n_words), dtype=np.uint64)
+    accept_rows = np.empty((k, n_words), dtype=np.uint64)
+
+    for position in range(sym_rows.shape[0]):
+        dead = dying.get(position)
+        if dead is not None:
+            enabled[dead] = 0
+            start_rows[dead] = 0
+        if ever is not None:
+            np.bitwise_or(ever, enabled, out=ever)
+        np.take(accept, sym_rows[position], axis=0, out=accept_rows)
+        np.bitwise_and(enabled, accept_rows, out=active)
+        active_bytes = active.tobytes()
+        np.copyto(enabled, start_rows)
+        if active_bytes == zero_bytes:
+            continue
+        at_end = ending_sets.get(position) if has_eod else None
+        # Group activated states by stream, slicing each stream's lane out of
+        # the packed matrix (keeps big-int ops O(lane), not O(matrix)).
+        gids: List[int] = []
+        seg_starts: List[int] = []
+        rows: List[int] = []
+        for row in range(k):
+            chunk = active_bytes[row * stride : (row + 1) * stride]
+            if chunk == zero_chunk:
+                continue
+            row_int = int.from_bytes(chunk, "little")
+            if has_reports:
+                mask = report_int if at_end is not None and row in at_end else mid_report_int
+                hits = row_int & mask
+                while hits:
+                    low = hits & -hits
+                    reports[row].append((position, low.bit_length() - 1))
+                    hits ^= low
+            seg_starts.append(len(gids))
+            rows.append(row)
+            while row_int:
+                low = row_int & -row_int
+                gids.append(low.bit_length() - 1)
+                row_int ^= low
+        if succ_masks is not None:
+            gid_arr = np.fromiter(gids, dtype=np.int64, count=len(gids))
+            seg_arr = np.fromiter(seg_starts, dtype=np.int64, count=len(seg_starts))
+            merged = np.bitwise_or.reduceat(succ_masks[gid_arr], seg_arr, axis=0)
+            enabled[rows] = merged | start_all
+        else:
+            boundaries = seg_starts[1:] + [len(gids)]
+            for row, begin, end in zip(rows, seg_starts, boundaries):
+                successors = gather_csr(
+                    compiled.indptr, compiled.indices,
+                    np.fromiter(gids[begin:end], dtype=np.int64, count=end - begin),
+                )
+                bitops.set_indices(enabled[row], successors)
+
+
+def _lockstep_packed(
+    compiled: CompiledNetwork,
+    sym_rows: np.ndarray,
+    lengths: List[int],
+    reports: List[List],
+    ever,
+) -> None:
+    """Lock-step loop for large state matrices: packed-word NumPy expansion
+    of activated bits (the big-int ops would be O(matrix size) per extracted
+    bit), with one segmented ``bitwise_or.reduceat`` per cycle."""
+    k = len(lengths)
+    n_words = compiled.n_words
+    full_bits = n_words * 64
+    accept = compiled.accept
+    start_all = compiled.start_all
+    report_mask = compiled.report_mask
+    mid_report_mask = report_mask & ~compiled.eod_mask
+    has_reports = bool(report_mask.any())
+    has_eod = bool(compiled.eod_mask.any())
+    succ_masks = compiled.successor_masks()
+    indptr = compiled.indptr
+    indices = compiled.indices
+    dying, ending = _ragged_maps(lengths)
+
+    start_rows = np.tile(start_all, (k, 1))
+    enabled = np.tile(compiled.initial_enabled(), (k, 1))
+    active = np.empty((k, n_words), dtype=np.uint64)
+    accept_rows = np.empty((k, n_words), dtype=np.uint64)
+    hits = np.empty((k, n_words), dtype=np.uint64)
+
+    for position in range(sym_rows.shape[0]):
+        dead = dying.get(position)
+        if dead is not None:
+            enabled[dead] = 0
+            start_rows[dead] = 0
+        if ever is not None:
+            np.bitwise_or(ever, enabled, out=ever)
+        np.take(accept, sym_rows[position], axis=0, out=accept_rows)
+        np.bitwise_and(enabled, accept_rows, out=active)
+        bits = bitops.to_indices(active.reshape(-1))
+        np.copyto(enabled, start_rows)
+        if bits.size == 0:
+            continue
+        if has_reports:
+            np.bitwise_and(active, mid_report_mask, out=hits)
+            if has_eod:
+                at_end = ending.get(position)
+                if at_end is not None:
+                    hits[at_end] = active[at_end] & report_mask
+            if hits.any():
+                for bit in bitops.to_indices(hits.reshape(-1)).tolist():
+                    reports[bit // full_bits].append((position, bit % full_bits))
+        stream_ids, gids = np.divmod(bits, full_bits)
+        if succ_masks is not None:
+            # One segmented OR per stream: ``bits`` is ascending, so rows of
+            # the gathered mask matrix are already grouped by stream.
+            seg_starts = np.concatenate(
+                ([0], np.flatnonzero(stream_ids[1:] != stream_ids[:-1]) + 1)
+            )
+            merged = np.bitwise_or.reduceat(succ_masks[gids], seg_starts, axis=0)
+            enabled[stream_ids[seg_starts]] = merged | start_all
+        else:
+            starts = indptr[gids]
+            counts = indptr[gids + 1] - starts
+            total = int(counts.sum())
+            if total:
+                cum = np.cumsum(counts)
+                within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+                successors = indices[np.repeat(starts, counts) + within]
+                bitops.set_indices(
+                    enabled.reshape(-1),
+                    np.repeat(stream_ids, counts) * full_bits + successors,
+                )

@@ -1,0 +1,98 @@
+"""Cross-engine equivalence: all four engines report bit-identically.
+
+The four execution paths — the pure-Python reference, the bit-packed scalar
+engine, the boolean-matrix engine, and the multi-stream lock-step engine —
+implement the same homogeneous-NFA semantics through completely different
+datapaths.  These property tests pin them to each other on random networks
+(cyclic, eod reporters, multiple automata) and random inputs, including both
+internal dispatch paths of the multi-stream engine.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.sim import (
+    compile_network,
+    matrix_compile,
+    matrix_run,
+    reference_run,
+    reports_equal,
+    run,
+    run_multi,
+)
+from repro.sim import multistream as ms
+
+from helpers import input_lengths, random_input, random_network, seeds
+
+
+class _forced_path:
+    """Pin run_multi to its big-int or packed-word internal path.
+
+    A plain context manager (not the ``monkeypatch`` fixture) so it can be
+    used inside hypothesis tests, which forbid function-scoped fixtures.
+    """
+
+    def __init__(self, path):
+        self.path = path
+
+    def __enter__(self):
+        self.saved = (ms._BIGINT_WORD_LIMIT, ms._BIGINT_STREAM_LIMIT)
+        if self.path == "bigint":
+            ms._BIGINT_WORD_LIMIT = ms._BIGINT_STREAM_LIMIT = 1 << 30
+        else:
+            ms._BIGINT_WORD_LIMIT = 0
+
+    def __exit__(self, *exc):
+        ms._BIGINT_WORD_LIMIT, ms._BIGINT_STREAM_LIMIT = self.saved
+        return False
+
+
+class TestFourEngineEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, input_lengths)
+    def test_reports_identical_across_engines(self, seed, length):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, length)
+        compiled = compile_network(network)
+
+        expected = reference_run(network, data).reports
+        assert reports_equal(run(compiled, data).reports, expected)
+        assert reports_equal(matrix_run(matrix_compile(network), data).reports, expected)
+        (multi,) = run_multi(compiled, [data])
+        assert reports_equal(multi.reports, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_hot_sets_identical(self, seed):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, rng.randint(1, 30))
+        compiled = compile_network(network)
+
+        scalar = run(compiled, data, track_enabled=True)
+        (multi,) = run_multi(compiled, [data], track_enabled=True)
+        assert (scalar.ever_enabled == multi.ever_enabled).all()
+        matrix = matrix_run(matrix_compile(network), data)
+        assert (scalar.ever_enabled == matrix.ever_enabled).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_multistream_both_paths_match_scalar(self, seed):
+        """K ragged streams, each bit-identical to its own scalar run, on
+        both the big-int and packed-word internal paths."""
+        rng = random.Random(seed)
+        network = random_network(rng)
+        compiled = compile_network(network)
+        streams = [random_input(rng, rng.randint(0, 30)) for _ in range(rng.randint(1, 6))]
+        expected = [run(compiled, s, track_enabled=True) for s in streams]
+
+        for path in ("bigint", "packed"):
+            with _forced_path(path):
+                results = run_multi(compiled, streams, track_enabled=True)
+            assert len(results) == len(streams)
+            for got, want in zip(results, expected):
+                assert reports_equal(got.reports, want.reports), path
+                assert (got.ever_enabled == want.ever_enabled).all(), path
+                assert got.cycles == want.cycles
