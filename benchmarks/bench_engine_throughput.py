@@ -38,9 +38,12 @@ from repro.sim import (
     run_multi,
 )
 from repro.sim.result import reports_to_array
+from repro.stats import SCHEMA_VERSION, StageTimer, validate_spans
 from repro.workloads.registry import get_app
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+#: Stage-timing stats (repro.stats spans) written next to BENCH_engine.json.
+STATS_PATH = BENCH_PATH.with_name("BENCH_engine_stats.json")
 APP, SCALE, INPUT_LEN, K_STREAMS = "Snort", 64, 2048, 8
 #: ``--check`` passes while live ratios stay above this fraction of the
 #: committed ones (CI runners are noisy; ratios still drift a little).
@@ -126,39 +129,56 @@ def _mb_per_s(fn, n_bytes, repeats=3):
     return n_bytes / best / 1e6
 
 
-def collect_metrics(repeats=3):
-    """Measure every engine on the standard workload; returns the JSON dict."""
+def collect_metrics(repeats=3, timer=None):
+    """Measure every engine on the standard workload; returns the JSON dict.
+
+    ``timer`` (a :class:`repro.stats.StageTimer`) records where the harness's
+    own wall time goes — build/compile, the equivalence pass, and each
+    engine's measurement loop — for the stats document written next to
+    ``BENCH_engine.json``.
+    """
+    timer = timer or StageTimer(enabled=False)
     spec = get_app(APP)
-    network = spec.build(SCALE)
-    compiled = compile_network(network)
-    data = spec.make_input(network, INPUT_LEN)
+    with timer.stage("build_compile"):
+        network = spec.build(SCALE)
+        compiled = compile_network(network)
+        data = spec.make_input(network, INPUT_LEN)
     n = len(data)
     streams = [data] * K_STREAMS
 
-    seed_result = _seed_run(compiled, data)
-    fast_result = run(compiled, data, track_enabled=False)
-    reference_result = reference_run(network, data)
-    matrix_result = matrix_run(matrix_compile(network), data)
-    multi_results = run_multi(compiled, streams, track_enabled=False)
-    identical = all(
-        reports_equal(fast_result.reports, other)
-        for other in [seed_result, reference_result.reports, matrix_result.reports]
-        + [r.reports for r in multi_results]
-    )
+    with timer.stage("equivalence"):
+        seed_result = _seed_run(compiled, data)
+        fast_result = run(compiled, data, track_enabled=False)
+        reference_result = reference_run(network, data)
+        matrix_result = matrix_run(matrix_compile(network), data)
+        multi_results = run_multi(compiled, streams, track_enabled=False)
+        identical = all(
+            reports_equal(fast_result.reports, other)
+            for other in [seed_result, reference_result.reports, matrix_result.reports]
+            + [r.reports for r in multi_results]
+        )
 
-    seed = _mb_per_s(lambda: _seed_run(compiled, data), n, repeats)
-    bitpacked = _mb_per_s(lambda: run(compiled, data, track_enabled=False), n, repeats)
-    reference = _mb_per_s(lambda: reference_run(network, data), n, repeats=1)
-    mat = matrix_compile(network)
-    matrix = _mb_per_s(lambda: matrix_run(mat, data), n, repeats)
-    k_scalar = _mb_per_s(
-        lambda: [run(compiled, s, track_enabled=False) for s in streams],
-        n * K_STREAMS, repeats,
-    )
-    multistream = _mb_per_s(
-        lambda: run_multi(compiled, streams, track_enabled=False),
-        n * K_STREAMS, repeats,
-    )
+    with timer.stage("measure_seed"):
+        seed = _mb_per_s(lambda: _seed_run(compiled, data), n, repeats)
+    with timer.stage("measure_bitpacked"):
+        bitpacked = _mb_per_s(
+            lambda: run(compiled, data, track_enabled=False), n, repeats
+        )
+    with timer.stage("measure_reference"):
+        reference = _mb_per_s(lambda: reference_run(network, data), n, repeats=1)
+    with timer.stage("measure_matrix"):
+        mat = matrix_compile(network)
+        matrix = _mb_per_s(lambda: matrix_run(mat, data), n, repeats)
+    with timer.stage("measure_k_scalar"):
+        k_scalar = _mb_per_s(
+            lambda: [run(compiled, s, track_enabled=False) for s in streams],
+            n * K_STREAMS, repeats,
+        )
+    with timer.stage("measure_multistream"):
+        multistream = _mb_per_s(
+            lambda: run_multi(compiled, streams, track_enabled=False),
+            n * K_STREAMS, repeats,
+        )
 
     return {
         "workload": {
@@ -214,11 +234,25 @@ def main(argv=None):
                         help="timing repetitions per engine (best-of)")
     args = parser.parse_args(argv)
 
-    live = collect_metrics(repeats=args.repeats)
+    timer = StageTimer()
+    live = collect_metrics(repeats=args.repeats, timer=timer)
     print(json.dumps(live, indent=2))
     if not args.check:
         BENCH_PATH.write_text(json.dumps(live, indent=2) + "\n")
         print(f"wrote {BENCH_PATH}", file=sys.stderr)
+        # Stage timings of this harness run, schema-checked before writing.
+        # Absolute wall times are machine-dependent (like the MB/s above),
+        # so they ride alongside BENCH_engine.json rather than inside the
+        # ratio-checked document.
+        spans = timer.to_json()
+        validate_spans(spans)
+        STATS_PATH.write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION,
+            "kind": "engine_bench_stages",
+            "workload": live["workload"],
+            "stages": spans,
+        }, indent=2) + "\n")
+        print(f"wrote {STATS_PATH}", file=sys.stderr)
         return 0
 
     recorded = json.loads(BENCH_PATH.read_text())

@@ -8,14 +8,20 @@ Commands:
 * ``report [OUT.md]`` — regenerate the full EXPERIMENTS.md.
 * ``sweep [ABBR ...]`` — run the whole workload (or a subset) through the
   pipeline, fanned across cores with a process pool.
+* ``stats [ABBR ...|--all]`` — unified runtime statistics: every §VI
+  counter (cycles, stalls, queue refills, device traffic, hot fractions,
+  prediction quality) plus per-stage wall times, as text or versioned
+  JSON (``repro.stats``).
 * ``verify [ABBR ...|--all]`` — static verification (the automata
   sanitizer): lint networks and prove the partition/batch-plan invariants
   without running any simulation.
 
-Unknown application or figure names exit with status 2 and a "did you
-mean" suggestion; ``verify`` exits 1 when any rule of ERROR severity
-fires.  ``--no-verify`` on the experiment commands disables the
-pipeline's fail-fast invariant checks (see ``repro.verify``).
+Application names accept the registry abbreviations plus paper-table
+aliases (``SNT`` for ``Snort``), case-insensitively.  Unknown application
+or figure names exit with status 2 and a "did you mean" suggestion;
+``verify`` exits 1 when any rule of ERROR severity fires.  ``--no-verify``
+on the experiment commands disables the pipeline's fail-fast invariant
+checks (see ``repro.verify``).
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import argparse
 import difflib
 import sys
 from dataclasses import replace
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 from .experiments import default_config
 from .experiments import figures as _figures
@@ -32,7 +38,7 @@ from .experiments.config import ExperimentConfig
 from .experiments.pipeline import get_run
 from .experiments.report import generate_report
 from .experiments.tables import render_table
-from .workloads.registry import APPS, app_names
+from .workloads.registry import APPS, app_names, resolve_abbr
 
 _FIGURES = {
     "fig01": _figures.fig01_hot_states,
@@ -69,6 +75,19 @@ def _config_for(args) -> ExperimentConfig:
     return config
 
 
+def _resolve_apps(names: Iterable[str]) -> Optional[List[str]]:
+    """Canonical abbreviations for ``names``, or ``None`` after reporting
+    the first unknown one (callers exit 2)."""
+    resolved: List[str] = []
+    for name in names:
+        canonical = resolve_abbr(name)
+        if canonical is None:
+            _unknown_name("application", name, app_names())
+            return None
+        resolved.append(canonical)
+    return resolved
+
+
 def _cmd_list_apps(_args) -> int:
     rows = []
     for abbr in app_names():
@@ -84,8 +103,10 @@ def _cmd_list_apps(_args) -> int:
 
 
 def _cmd_run_app(args) -> int:
-    if args.app not in APPS:
-        return _unknown_name("application", args.app, app_names())
+    resolved = _resolve_apps([args.app])
+    if resolved is None:
+        return 2
+    (args.app,) = resolved
     config = _config_for(args)
     run = get_run(args.app, config)
     ap = config.half_core
@@ -124,13 +145,13 @@ def _cmd_sweep(args) -> int:
     import json as _json
     import time as _time
 
-    from .experiments.sweep import SweepError, render_sweep, run_sweep
+    from .experiments.sweep import SweepError, render_sweep, run_sweep, sweep_summary
 
-    targets = args.apps or None
-    if targets:
-        for abbr in targets:
-            if abbr not in APPS:
-                return _unknown_name("application", abbr, app_names())
+    targets = None
+    if args.apps:
+        targets = _resolve_apps(args.apps)
+        if targets is None:
+            return 2
     began = _time.perf_counter()
     try:
         rows = run_sweep(targets, _config_for(args),
@@ -145,9 +166,49 @@ def _cmd_sweep(args) -> int:
         print(_json.dumps([row.to_json() for row in rows], indent=2))
     else:
         print(render_sweep(rows))
+        summary = sweep_summary(rows)
         busy = sum(row.seconds for row in rows)
         print(f"{len(rows)} applications in {elapsed:.1f}s wall "
               f"({busy:.1f}s of per-app work)")
+        print(f"geomean speedups: SpAP {summary['geomean_spap_speedup']:.2f}x, "
+              f"AP-CPU {summary['geomean_ap_cpu_speedup']:.2f}x; "
+              f"mean prediction accuracy "
+              f"{summary['mean_prediction_accuracy']:.3f}; "
+              f"{summary['total_intermediate_reports']} intermediate reports, "
+              f"{summary['total_queue_refills']} queue refills, "
+              f"{summary['total_device_bytes']} device bytes")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json as _json
+
+    from .stats import collect_run_stats, render_stats, validate_stats
+
+    if args.all:
+        targets: Optional[List[str]] = app_names()
+    elif args.apps:
+        targets = _resolve_apps(args.apps)
+        if targets is None:
+            return 2
+    else:
+        print("stats: name at least one application or pass --all",
+              file=sys.stderr)
+        return 2
+
+    config = _config_for(args)
+    documents = []
+    for abbr in targets:
+        stats = collect_run_stats(abbr, config, fraction=args.profile)
+        if args.json:
+            document = stats.to_json()
+            validate_stats(document)  # never emit a schema-invalid export
+            documents.append(document)
+        else:
+            print(render_stats(stats))
+    if args.json:
+        payload = documents[0] if len(documents) == 1 else documents
+        print(_json.dumps(payload, indent=2))
     return 0
 
 
@@ -155,12 +216,11 @@ def _cmd_verify(args) -> int:
     from .verify.app import verify_app
 
     if args.all:
-        targets = app_names()
+        targets: Optional[List[str]] = app_names()
     elif args.apps:
-        targets = args.apps
-        for abbr in targets:
-            if abbr not in APPS:
-                return _unknown_name("application", abbr, app_names())
+        targets = _resolve_apps(args.apps)
+        if targets is None:
+            return 2
     else:
         print("verify: name at least one application or pass --all",
               file=sys.stderr)
@@ -225,6 +285,22 @@ def main(argv: Optional[list] = None) -> int:
     sweep_parser.add_argument("--no-verify", action="store_true",
                               help="skip fail-fast partition/batch verification")
 
+    stats_parser = sub.add_parser(
+        "stats",
+        help="unified runtime statistics and stage timings (repro.stats)",
+    )
+    stats_parser.add_argument("apps", nargs="*",
+                              help="application abbreviations (see list-apps)")
+    stats_parser.add_argument("--all", action="store_true",
+                              help="collect stats for every registry application")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="emit the versioned JSON document(s) "
+                                   "instead of text")
+    stats_parser.add_argument("--profile", type=float, default=0.01,
+                              help="profiling fraction (default 0.01)")
+    stats_parser.add_argument("--no-verify", action="store_true",
+                              help="skip fail-fast partition/batch verification")
+
     verify_parser = sub.add_parser(
         "verify",
         help="statically verify applications (networks, partitions, batch plans)",
@@ -247,6 +323,7 @@ def main(argv: Optional[list] = None) -> int:
         "figure": _cmd_figure,
         "report": _cmd_report,
         "sweep": _cmd_sweep,
+        "stats": _cmd_stats,
         "verify": _cmd_verify,
     }
     return handlers[args.command](args)

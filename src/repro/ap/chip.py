@@ -11,7 +11,7 @@ performance-per-STE metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..nfa.automaton import Network
 from .config import APConfig
@@ -32,17 +32,43 @@ class STEAddress:
         return self.block * per_block + self.row * config.stes_per_row + self.ste
 
 
-def decode_state_id(state_id: int, config: APConfig) -> STEAddress:
-    """Split a 16-bit state id the way the SpAP enable decoders do.
+def _exact_log2(value: int, field: str) -> int:
+    """Bit width of a power-of-two geometry field.
 
-    The low 4 bits select the STE within a row, the next 4 bits the row
-    within a block, and the high bits the block.
+    The enable decoders split the state id on bit boundaries, so a geometry
+    whose row/STE counts are not powers of two cannot be addressed by
+    shifting and masking at all — reject it rather than mis-address STEs.
+    """
+    if value <= 0 or value & (value - 1):
+        raise ValueError(
+            f"{field}={value} is not a power of two; the enable decoders "
+            "split the state id on bit boundaries (paper §V-B), so row/STE "
+            "geometry must be a power of two"
+        )
+    return value.bit_length() - 1
+
+
+def _field_bits(config: APConfig) -> Tuple[int, int]:
+    """(STE bits, row bits) of the state-id layout for this geometry."""
+    return (
+        _exact_log2(config.stes_per_row, "stes_per_row"),
+        _exact_log2(config.rows_per_block, "rows_per_block"),
+    )
+
+
+def decode_state_id(state_id: int, config: APConfig) -> STEAddress:
+    """Split a state id the way the SpAP enable decoders do.
+
+    The low ``log2(stes_per_row)`` bits select the STE within a row, the
+    next ``log2(rows_per_block)`` bits the row within a block, and the high
+    bits the block (for the default 16x16 geometry: 4 + 4 + block bits).
     """
     if state_id < 0:
         raise ValueError(f"negative state id: {state_id}")
-    ste = state_id & 0xF
-    row = (state_id >> 4) & 0xF
-    block = state_id >> 8
+    ste_bits, row_bits = _field_bits(config)
+    ste = state_id & (config.stes_per_row - 1)
+    row = (state_id >> ste_bits) & (config.rows_per_block - 1)
+    block = state_id >> (ste_bits + row_bits)
     if block >= config.blocks:
         raise ValueError(
             f"state id {state_id} selects block {block}, beyond {config.blocks} blocks"
@@ -56,7 +82,8 @@ def encode_address(address: STEAddress, config: APConfig) -> int:
         raise ValueError(f"address out of range: {address}")
     if not 0 <= address.block < config.blocks:
         raise ValueError(f"address out of range: {address}")
-    return (address.block << 8) | (address.row << 4) | address.ste
+    ste_bits, row_bits = _field_bits(config)
+    return (address.block << (ste_bits + row_bits)) | (address.row << ste_bits) | address.ste
 
 
 @dataclass

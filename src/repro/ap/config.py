@@ -35,6 +35,11 @@ class APConfig:
             raise ValueError(f"capacity must be positive, got {self.capacity}")
         if self.cycle_ns <= 0:
             raise ValueError(f"cycle_ns must be positive, got {self.cycle_ns}")
+        for field_name in ("blocks", "rows_per_block", "stes_per_row",
+                           "report_queue_entries", "report_entry_bytes"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
         if self.capacity > self.routing_stes:
             raise ValueError(
                 f"capacity {self.capacity} exceeds routing matrix size {self.routing_stes}"
@@ -51,9 +56,22 @@ class APConfig:
         return self.report_queue_entries * self.report_entry_bytes
 
     def with_capacity(self, capacity: int) -> "APConfig":
-        """A copy with a different STE capacity (routing scaled to fit)."""
-        blocks = self.blocks
+        """A copy with a different STE capacity (routing scaled to fit).
+
+        Validated to ``__post_init__`` grade before any arithmetic: the
+        capacity must be positive and the per-block geometry non-zero
+        (a zero geometry would otherwise divide by zero here and every
+        derived config would silently mis-size its routing matrix).
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
         per_block = self.rows_per_block * self.stes_per_row
+        if per_block <= 0:
+            raise ValueError(
+                f"rows_per_block ({self.rows_per_block}) * stes_per_row "
+                f"({self.stes_per_row}) must be non-zero to size the routing matrix"
+            )
+        blocks = self.blocks
         needed = (capacity + per_block - 1) // per_block
         if needed > blocks:
             blocks = needed

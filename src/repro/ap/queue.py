@@ -43,6 +43,15 @@ class ReportQueueUsage:
     def on_chip_bytes(self) -> int:
         return self.queue_entries * self.entry_bytes
 
+    def to_json(self) -> dict:
+        """Counter view consumed by the runtime statistics (``repro.stats``)."""
+        return {
+            "n_reports": self.n_reports,
+            "refills": self.refills,
+            "device_bytes": self.device_bytes,
+            "on_chip_bytes": self.on_chip_bytes,
+        }
+
 
 def queue_usage(n_reports: int, config: APConfig) -> ReportQueueUsage:
     """Queue accounting for ``n_reports`` intermediate reports."""

@@ -102,13 +102,20 @@ def split_input(data, profile_fraction: float):
 
     The first half of the stream is the profiling pool and the second half is
     the test input; ``profile_fraction`` (e.g. 0.01 for "1% of the entire
-    input") selects a prefix of the pool of ``fraction * len(data)`` symbols.
-    Returns ``(profiling_input, test_input)``.
+    input") selects a prefix of the pool of ``fraction * len(data)`` symbols,
+    floored at 1 symbol.  Returns ``(profiling_input, test_input)``.
     """
     if not 0.0 < profile_fraction <= 0.5:
         raise ValueError(f"profile fraction must be in (0, 0.5], got {profile_fraction}")
     n = len(data)
     half = n // 2
+    if half < 1:
+        # The 1-symbol floor below would otherwise be clamped back to
+        # ``half == 0``, silently profiling an empty input.
+        raise ValueError(
+            f"input of {n} symbols is too short to split; need at least 2 "
+            "(1 profiling symbol + 1 test symbol)"
+        )
     take = max(1, int(round(n * profile_fraction)))
     if take > half:
         take = half

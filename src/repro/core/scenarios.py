@@ -104,6 +104,17 @@ class PartitionedOutcome:
         denom = self.n_cold_batches * self.n_symbols
         return 1.0 - self.spap_consumed_cycles / float(denom)
 
+    def queue_usage(self, config: APConfig):
+        """Intermediate-report queue accounting for this run (§V-B).
+
+        Refill counts and device-memory traffic for the run's intermediate
+        report list against ``config``'s on-chip queue; feeds the unified
+        runtime statistics (``repro.stats``).
+        """
+        from ..ap.queue import queue_usage
+
+        return queue_usage(self.n_intermediate_reports, config)
+
 
 def run_baseline_ap(network: Network, input_data, config: APConfig) -> BaselineOutcome:
     """Execute the unpartitioned application in batches (the paper's baseline)."""

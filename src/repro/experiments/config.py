@@ -12,6 +12,8 @@ Environment overrides:
 * ``REPRO_INPUT=<n>`` — explicit input length in bytes.
 * ``REPRO_NO_VERIFY=1`` — skip the fail-fast static verification of
   partitions and batch plans (``repro.verify``).
+* ``REPRO_NO_STATS=1`` — disable pipeline stage-time recording
+  (``repro.stats``); counters computed by the scenarios are unaffected.
 """
 
 from __future__ import annotations

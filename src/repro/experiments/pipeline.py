@@ -5,6 +5,11 @@ topology, the split input, ground-truth hot states on the test input,
 profiling runs at several fractions, partitions, and the three execution
 scenarios.  :class:`AppRun` computes each once and caches it, so a full
 multi-figure sweep touches each expensive stage exactly once per app.
+
+Each cache-miss computation runs under the run's :class:`StageTimer`
+(``repro.stats``), so any consumer can ask where the wall time of a
+pipeline went; cache hits are never re-timed.  ``REPRO_NO_STATS=1``
+disables recording entirely.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from ..nfa.automaton import Network
 from ..sim.compiled import CompiledNetwork, compile_network
 from ..sim.engine import run
 from ..sim.result import SimResult
+from ..stats.recorder import StageTimer
 from ..workloads.registry import AppSpec, get_app
 from .config import ExperimentConfig, default_config
 
@@ -38,6 +44,8 @@ class AppRun:
     def __init__(self, spec: AppSpec, config: ExperimentConfig):
         self.spec = spec
         self.config = config
+        #: Wall-time spans of every cache-miss stage (repro.stats).
+        self.stats = StageTimer()
         self._network: Optional[Network] = None
         self._topology: Optional[NetworkTopology] = None
         self._compiled: Optional[CompiledNetwork] = None
@@ -54,25 +62,31 @@ class AppRun:
     @property
     def network(self) -> Network:
         if self._network is None:
-            self._network = self.spec.build(self.config.scale)
+            with self.stats.stage("build"):
+                self._network = self.spec.build(self.config.scale)
         return self._network
 
     @property
     def topology(self) -> NetworkTopology:
         if self._topology is None:
-            self._topology = analyze_network(self.network)
+            with self.stats.stage("topology"):
+                self._topology = analyze_network(self.network)
         return self._topology
 
     @property
     def compiled(self) -> CompiledNetwork:
         if self._compiled is None:
-            self._compiled = compile_network(self.network)
+            with self.stats.stage("compile"):
+                self._compiled = compile_network(self.network)
         return self._compiled
 
     @property
     def entire_input(self) -> bytes:
         if self._entire_input is None:
-            self._entire_input = self.spec.make_input(self.network, self.config.input_len)
+            with self.stats.stage("input"):
+                self._entire_input = self.spec.make_input(
+                    self.network, self.config.input_len
+                )
         return self._entire_input
 
     @property
@@ -95,7 +109,8 @@ class AppRun:
     def truth(self) -> SimResult:
         """Ground truth on the test input (hot set, reports)."""
         if self._truth is None:
-            self._truth = run(self.compiled, self.test_input, track_enabled=True)
+            with self.stats.stage("truth"):
+                self._truth = run(self.compiled, self.test_input, track_enabled=True)
         return self._truth
 
     def hot_fraction(self) -> float:
@@ -103,9 +118,10 @@ class AppRun:
 
     def profile(self, fraction: float) -> SimResult:
         if fraction not in self._profiles:
-            self._profiles[fraction] = run(
-                self.compiled, self.profile_input(fraction), track_enabled=True
-            )
+            with self.stats.stage("profile"):
+                self._profiles[fraction] = run(
+                    self.compiled, self.profile_input(fraction), track_enabled=True
+                )
         return self._profiles[fraction]
 
     def partition(self, fraction: float, config: APConfig,
@@ -113,44 +129,53 @@ class AppRun:
         key = (fraction, config.capacity, fill)
         if key not in self._partitions:
             hot_mask = self.profile(fraction).hot_mask()
-            layers = choose_partition_layers(self.network, self.topology, hot_mask)
-            layers, bins = plan_hot_batches(
-                self.network, self.topology, layers, config.capacity, fill=fill
-            )
-            partitioned = partition_network(self.network, layers, topology=self.topology)
+            with self.stats.stage("partition"):
+                layers = choose_partition_layers(self.network, self.topology, hot_mask)
+                layers, bins = plan_hot_batches(
+                    self.network, self.topology, layers, config.capacity, fill=fill
+                )
+                partitioned = partition_network(
+                    self.network, layers, topology=self.topology
+                )
             if self.config.verify:
                 # Fail fast: refuse to simulate a partition or batch plan that
                 # violates a §IV-C/§III-C invariant (escape hatch: --no-verify
                 # on the CLI, REPRO_NO_VERIFY=1, or ExperimentConfig(verify=False)).
                 from ..verify.app import verify_partition_with_plan
 
-                verify_partition_with_plan(
-                    partitioned, bins, config.capacity
-                ).raise_for_errors()
+                with self.stats.stage("verify"):
+                    verify_partition_with_plan(
+                        partitioned, bins, config.capacity
+                    ).raise_for_errors()
             self._partitions[key] = (partitioned, bins)
         return self._partitions[key]
 
     def baseline(self, config: APConfig) -> BaselineOutcome:
         if config.capacity not in self._baselines:
-            self._baselines[config.capacity] = run_baseline_ap(
-                self.network, self.test_input, config
-            )
+            with self.stats.stage("baseline"):
+                self._baselines[config.capacity] = run_baseline_ap(
+                    self.network, self.test_input, config
+                )
         return self._baselines[config.capacity]
 
     def base_spap(self, fraction: float, config: APConfig) -> PartitionedOutcome:
         key = (fraction, config.capacity)
         if key not in self._spap:
             partitioned, bins = self.partition(fraction, config)
-            self._spap[key] = run_base_spap(partitioned, self.test_input, config, bins)
+            with self.stats.stage("base_spap"):
+                self._spap[key] = run_base_spap(
+                    partitioned, self.test_input, config, bins
+                )
         return self._spap[key]
 
     def ap_cpu(self, fraction: float, config: APConfig) -> PartitionedOutcome:
         key = (fraction, config.capacity)
         if key not in self._ap_cpu:
             partitioned, bins = self.partition(fraction, config)
-            self._ap_cpu[key] = run_ap_cpu(
-                partitioned, self.test_input, config, bins, self.config.cpu_model
-            )
+            with self.stats.stage("ap_cpu"):
+                self._ap_cpu[key] = run_ap_cpu(
+                    partitioned, self.test_input, config, bins, self.config.cpu_model
+                )
         return self._ap_cpu[key]
 
     # -- derived metrics -----------------------------------------------------------

@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.metrics import geometric_mean
 from ..workloads.registry import APPS, app_names
 from .config import ExperimentConfig, default_config
 from .pipeline import get_run
@@ -33,6 +34,7 @@ __all__ = [
     "SweepError",
     "run_sweep",
     "render_sweep",
+    "sweep_summary",
     "DEFAULT_PROFILE_FRACTION",
 ]
 
@@ -56,7 +58,13 @@ class SweepError(RuntimeError):
 
 @dataclass(frozen=True)
 class AppSweepRow:
-    """One application's sweep outcome (all scenarios, one profile point)."""
+    """One application's sweep outcome (all scenarios, one profile point).
+
+    The counter columns are the unified runtime statistics of
+    :mod:`repro.stats` (Table IV's cycle/stall/report counters, the §V-B
+    queue accounting, Table I prediction accuracy) so a sweep doubles as a
+    cross-application stats export.
+    """
 
     abbr: str
     full_name: str
@@ -66,6 +74,13 @@ class AppSweepRow:
     hot_fraction: float
     baseline_batches: int
     baseline_cycles: int
+    base_cycles: int
+    spap_cycles: int
+    spap_stall_cycles: int
+    n_intermediate_reports: int
+    queue_refills: int
+    device_bytes: int
+    prediction_accuracy: float
     spap_speedup: float
     ap_cpu_speedup: float
     resource_saving: float
@@ -78,24 +93,32 @@ class AppSweepRow:
 def sweep_app(abbr: str, config: ExperimentConfig,
               fraction: float = DEFAULT_PROFILE_FRACTION) -> AppSweepRow:
     """Compute one application's row (cached via the pipeline's ``AppRun``)."""
+    from ..stats.collect import collect_run_stats
+
     if abbr not in APPS:
         raise KeyError(f"unknown application {abbr!r}")
     began = time.perf_counter()
     app_run = get_run(abbr, config)
-    ap = config.half_core
-    baseline = app_run.baseline(ap)
+    stats = collect_run_stats(abbr, config, fraction=fraction, app_run=app_run)
     row = AppSweepRow(
         abbr=abbr,
-        full_name=app_run.spec.full_name,
-        group=app_run.spec.group,
-        n_states=app_run.network.n_states,
-        n_automata=app_run.network.n_automata,
-        hot_fraction=app_run.hot_fraction(),
-        baseline_batches=baseline.n_batches,
-        baseline_cycles=baseline.cycles,
-        spap_speedup=app_run.spap_speedup(fraction, ap),
-        ap_cpu_speedup=app_run.ap_cpu_speedup(fraction, ap),
-        resource_saving=app_run.resource_saving(fraction, ap),
+        full_name=stats.full_name,
+        group=stats.group,
+        n_states=stats.n_states,
+        n_automata=stats.n_automata,
+        hot_fraction=stats.hot_fraction,
+        baseline_batches=stats.baseline_batches,
+        baseline_cycles=stats.baseline_cycles,
+        base_cycles=stats.base_cycles,
+        spap_cycles=stats.spap_cycles,
+        spap_stall_cycles=stats.spap_stall_cycles,
+        n_intermediate_reports=stats.n_intermediate_reports,
+        queue_refills=stats.queue_refills,
+        device_bytes=stats.device_bytes,
+        prediction_accuracy=stats.prediction_accuracy,
+        spap_speedup=stats.spap_speedup,
+        ap_cpu_speedup=stats.ap_cpu_speedup,
+        resource_saving=stats.resource_saving,
         seconds=time.perf_counter() - began,
     )
     return row
@@ -146,6 +169,10 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
             row.n_automata,
             f"{100.0 * row.hot_fraction:.1f}%",
             row.baseline_batches,
+            row.spap_stall_cycles,
+            row.n_intermediate_reports,
+            row.queue_refills,
+            f"{row.prediction_accuracy:.3f}",
             f"{row.spap_speedup:.2f}x",
             f"{row.ap_cpu_speedup:.2f}x",
             f"{100.0 * row.resource_saving:.1f}%",
@@ -154,7 +181,30 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
         for row in rows
     ]
     return render_table(
-        ["App", "Group", "States", "NFAs", "Hot", "Batches",
-         "SpAP", "AP-CPU", "Saved", "Wall"],
+        ["App", "Group", "States", "NFAs", "Hot", "Batches", "Stalls",
+         "IRs", "Refills", "PredAcc", "SpAP", "AP-CPU", "Saved", "Wall"],
         body,
     )
+
+
+def sweep_summary(rows: Sequence[AppSweepRow]) -> dict:
+    """Aggregate view of a sweep: geomean speedups and counter totals.
+
+    Geometric means are the paper's summary statistic for speedups
+    (Fig 10); counters are summed across applications.
+    """
+    if not rows:
+        raise ValueError("summary of an empty sweep")
+    return {
+        "n_apps": len(rows),
+        "geomean_spap_speedup": geometric_mean(row.spap_speedup for row in rows),
+        "geomean_ap_cpu_speedup": geometric_mean(row.ap_cpu_speedup for row in rows),
+        "mean_resource_saving": sum(row.resource_saving for row in rows) / len(rows),
+        "mean_prediction_accuracy":
+            sum(row.prediction_accuracy for row in rows) / len(rows),
+        "total_intermediate_reports":
+            sum(row.n_intermediate_reports for row in rows),
+        "total_queue_refills": sum(row.queue_refills for row in rows),
+        "total_device_bytes": sum(row.device_bytes for row in rows),
+        "total_stall_cycles": sum(row.spap_stall_cycles for row in rows),
+    }

@@ -1,0 +1,41 @@
+"""Unified runtime statistics and tracing (`repro.stats`).
+
+The evaluation layer of the reproduction: stage timing for the experiment
+pipeline (:class:`StageTimer`), the typed :class:`RunStats` record unifying
+every paper counter, a versioned JSON schema with a dependency-free
+validator, and the collector that drives the cached pipeline.  Exposed on
+the command line as ``python -m repro stats [ABBR ...|--all] [--json]``.
+
+Recording is opt-out via ``REPRO_NO_STATS=1`` (mirroring
+``REPRO_NO_VERIFY``); see DESIGN.md §9 for the schema.
+"""
+
+from .collect import DEFAULT_STATS_FRACTION, collect_run_stats
+from .record import RunStats, render_stats
+from .recorder import Span, StageTimer, stats_enabled
+from .schema import (
+    SCHEMA_VERSION,
+    SPAN_SCHEMA,
+    STATS_SCHEMA,
+    SchemaError,
+    validate_spans,
+    validate_stats,
+    validate_stats_json,
+)
+
+__all__ = [
+    "DEFAULT_STATS_FRACTION",
+    "SCHEMA_VERSION",
+    "SPAN_SCHEMA",
+    "STATS_SCHEMA",
+    "RunStats",
+    "SchemaError",
+    "Span",
+    "StageTimer",
+    "collect_run_stats",
+    "render_stats",
+    "stats_enabled",
+    "validate_spans",
+    "validate_stats",
+    "validate_stats_json",
+]

@@ -1,0 +1,100 @@
+"""Assemble a :class:`RunStats` record from the experiment pipeline.
+
+Drives the cached :class:`~repro.experiments.pipeline.AppRun` through the
+baseline, BaseAP/SpAP, and AP-CPU scenarios (each computed once and reused
+by any other consumer of the same run) and unifies their counters with the
+queue model, the prediction-quality confusion matrix, and the pipeline's
+stage timings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.metrics import prediction_quality
+from ..core.profiling import choose_partition_layers, layer_closure_mask
+from .record import RunStats
+
+if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.pipeline import AppRun
+
+__all__ = ["collect_run_stats", "DEFAULT_STATS_FRACTION"]
+
+#: The paper's standard 1% profiling operating point.
+DEFAULT_STATS_FRACTION = 0.01
+
+
+def collect_run_stats(
+    abbr: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fraction: float = DEFAULT_STATS_FRACTION,
+    app_run: Optional[AppRun] = None,
+) -> RunStats:
+    """All runtime statistics for one application at one profiling fraction.
+
+    ``app_run`` short-circuits the registry lookup when the caller already
+    holds a pipeline object (the sweep does); otherwise the shared
+    :func:`~repro.experiments.pipeline.get_run` cache is used.
+    """
+    # Deferred: the pipeline itself uses repro.stats for stage timing, so a
+    # top-level import here would be circular.
+    from ..experiments.config import default_config
+    from ..experiments.pipeline import get_run
+
+    cfg = config or default_config()
+    run = app_run if app_run is not None else get_run(abbr, cfg)
+    ap = cfg.half_core
+
+    baseline = run.baseline(ap)
+    spap = run.base_spap(fraction, ap)
+    ap_cpu = run.ap_cpu(fraction, ap)
+    queue = spap.queue_usage(ap)
+
+    # Table I prediction quality: the layer-closed predicted-hot mask from
+    # the profiling run against the ground-truth hot mask on the test input.
+    with run.stats.stage("prediction"):
+        hot_mask = run.profile(fraction).hot_mask()
+        layers = choose_partition_layers(run.network, run.topology, hot_mask)
+        predicted = layer_closure_mask(run.network, run.topology, layers)
+        truth_mask = run.truth.hot_mask()
+        quality = prediction_quality(predicted, truth_mask)
+    n_states = run.network.n_states
+    predicted_fraction = float(predicted.sum()) / n_states if n_states else 0.0
+
+    return RunStats(
+        app=run.spec.abbr,
+        full_name=run.spec.full_name,
+        group=run.spec.group,
+        scale=cfg.scale,
+        input_len=cfg.input_len,
+        profile_fraction=fraction,
+        capacity=ap.capacity,
+        n_states=n_states,
+        n_automata=run.network.n_automata,
+        baseline_batches=baseline.n_batches,
+        baseline_cycles=baseline.cycles,
+        n_hot_batches=spap.n_hot_batches,
+        n_cold_batches=spap.n_cold_batches,
+        base_cycles=spap.base_cycles,
+        spap_consumed_cycles=spap.spap_consumed_cycles,
+        spap_stall_cycles=spap.spap_stall_cycles,
+        spap_cycles=spap.spap_cycles,
+        n_intermediate_reports=spap.n_intermediate_reports,
+        jump_ratio=spap.jump_ratio(),
+        queue_refills=queue.refills,
+        device_bytes=queue.device_bytes,
+        on_chip_bytes=queue.on_chip_bytes,
+        cpu_seconds=ap_cpu.cpu_seconds,
+        cpu_intermediate_reports=ap_cpu.n_intermediate_reports,
+        hot_fraction=run.hot_fraction(),
+        predicted_hot_fraction=predicted_fraction,
+        prediction_accuracy=quality.accuracy,
+        prediction_precision=quality.precision,
+        prediction_recall=quality.recall,
+        spap_speedup=run.spap_speedup(fraction, ap),
+        ap_cpu_speedup=run.ap_cpu_speedup(fraction, ap),
+        resource_saving=run.resource_saving(fraction, ap),
+        stages=run.stats.spans(),
+    )

@@ -1,0 +1,112 @@
+"""Stage timing: a lightweight wall-time/call-count recorder.
+
+Every expensive stage of the experiment pipeline (build, compile, profile,
+partition, the three scenarios) runs under a :class:`StageTimer` span, so a
+run can report where its wall time went without any external profiler.
+Recording is a single ``perf_counter`` pair per *stage* (never per input
+symbol), which keeps it invisible next to the stages themselves; setting
+``REPRO_NO_STATS=1`` (mirroring ``REPRO_NO_VERIFY``) disables even that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["Span", "StageTimer", "stats_enabled"]
+
+
+def stats_enabled() -> bool:
+    """Whether stage recording is on (the ``REPRO_NO_STATS=1`` escape hatch)."""
+    return os.environ.get("REPRO_NO_STATS") != "1"
+
+
+@dataclass(frozen=True)
+class Span:
+    """Accumulated timing for one named stage."""
+
+    name: str
+    calls: int
+    seconds: float
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "calls": self.calls, "seconds": self.seconds}
+
+
+class _SpanHandle:
+    """Context manager for one timed entry into a stage."""
+
+    __slots__ = ("_timer", "_name", "_began")
+
+    def __init__(self, timer: "StageTimer", name: str):
+        self._timer = timer
+        self._name = name
+        self._began = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._began = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer._record(self._name, time.perf_counter() - self._began)
+
+
+class _NullHandle:
+    """No-op handle returned by a disabled timer (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class StageTimer:
+    """Accumulates wall time and call counts per stage name.
+
+    ``enabled=None`` defers to the ``REPRO_NO_STATS`` environment variable.
+    A disabled timer hands out a shared no-op context manager, so wrapping a
+    stage costs two attribute lookups and nothing else.
+    """
+
+    def __init__(self, enabled: bool = None):  # type: ignore[assignment]
+        self.enabled = stats_enabled() if enabled is None else bool(enabled)
+        self._calls: Dict[str, int] = {}
+        self._seconds: Dict[str, float] = {}
+
+    def stage(self, name: str):
+        """Context manager timing one entry into ``name``."""
+        if not self.enabled:
+            return _NULL_HANDLE
+        return _SpanHandle(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        self._calls[name] = self._calls.get(name, 0) + 1
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def spans(self) -> List[Span]:
+        """All recorded spans, in first-recorded order."""
+        return [
+            Span(name=name, calls=self._calls[name], seconds=self._seconds[name])
+            for name in self._calls
+        ]
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def to_json(self) -> List[dict]:
+        return [span.to_json() for span in self.spans()]
+
+    def clear(self) -> None:
+        self._calls.clear()
+        self._seconds.clear()

@@ -1,0 +1,178 @@
+"""Versioned JSON schema for exported run statistics.
+
+The exporter stamps every document with ``schema_version``; the validator
+here is dependency-free (no ``jsonschema`` in the container) and checks the
+same things a JSON-Schema draft would for this shape: required keys, value
+types, nullability, and nested object/array structure.  CI's ``stats-smoke``
+job runs it over the 8-app subset on every push.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SPAN_SCHEMA",
+    "STATS_SCHEMA",
+    "SchemaError",
+    "validate_spans",
+    "validate_stats",
+    "validate_stats_json",
+]
+
+#: Bump on any backwards-incompatible change to the exported document shape.
+SCHEMA_VERSION = 1
+
+#: One StageTimer span as exported (shared by RunStats and the bench harness).
+SPAN_SCHEMA = {"name": "str", "calls": "int", "seconds": "number"}
+
+# (field -> type spec).  Type specs: "int", "number" (int or float), "str",
+# "bool"; "number?" marks a nullable leaf; dicts nest; ("array", spec)
+# matches a homogeneous list.
+STATS_SCHEMA = {
+    "schema_version": "int",
+    "app": "str",
+    "full_name": "str",
+    "group": "str",
+    "workload": {
+        "scale": "int",
+        "input_len": "int",
+        "profile_fraction": "number",
+        "capacity": "int",
+        "n_states": "int",
+        "n_automata": "int",
+    },
+    "baseline": {
+        "n_batches": "int",
+        "cycles": "int",
+    },
+    "spap": {
+        "n_hot_batches": "int",
+        "n_cold_batches": "int",
+        "base_cycles": "int",
+        "consumed_cycles": "int",
+        "stall_cycles": "int",
+        "cycles": "int",
+        "n_intermediate_reports": "int",
+        "jump_ratio": "number?",
+    },
+    "queue": {
+        "refills": "int",
+        "device_bytes": "int",
+        "on_chip_bytes": "int",
+    },
+    "ap_cpu": {
+        "cpu_seconds": "number",
+        "n_intermediate_reports": "int",
+    },
+    "prediction": {
+        "hot_fraction": "number",
+        "predicted_hot_fraction": "number",
+        "accuracy": "number",
+        "precision": "number",
+        "recall": "number",
+    },
+    "speedups": {
+        "spap": "number",
+        "ap_cpu": "number",
+        "resource_saving": "number",
+    },
+    "stages": ("array", SPAN_SCHEMA),
+}
+
+
+class SchemaError(ValueError):
+    """The document does not match :data:`STATS_SCHEMA`."""
+
+
+def _check(value: Any, spec: Any, path: str, problems: List[str]) -> None:
+    if isinstance(spec, dict):
+        if not isinstance(value, dict):
+            problems.append(f"{path}: expected object, got {type(value).__name__}")
+            return
+        for key, sub in spec.items():
+            if key not in value:
+                problems.append(f"{path}.{key}: missing")
+            else:
+                _check(value[key], sub, f"{path}.{key}", problems)
+        for key in value:
+            if key not in spec:
+                problems.append(f"{path}.{key}: unexpected field")
+        return
+    if isinstance(spec, tuple) and spec and spec[0] == "array":
+        if not isinstance(value, list):
+            problems.append(f"{path}: expected array, got {type(value).__name__}")
+            return
+        for index, item in enumerate(value):
+            _check(item, spec[1], f"{path}[{index}]", problems)
+        return
+    nullable = isinstance(spec, str) and spec.endswith("?")
+    kind = spec.rstrip("?")
+    if value is None:
+        if not nullable:
+            problems.append(f"{path}: null is not allowed")
+        return
+    if kind == "int":
+        # bool is an int subclass; it is never a valid counter.
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"{path}: expected int, got {type(value).__name__}")
+    elif kind == "number":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{path}: expected number, got {type(value).__name__}")
+    elif kind == "str":
+        if not isinstance(value, str):
+            problems.append(f"{path}: expected string, got {type(value).__name__}")
+    elif kind == "bool":
+        if not isinstance(value, bool):
+            problems.append(f"{path}: expected bool, got {type(value).__name__}")
+    else:  # pragma: no cover - schema author error
+        problems.append(f"{path}: unknown spec {spec!r}")
+
+
+def validate_stats(document: dict) -> None:
+    """Validate one exported stats object; raises :class:`SchemaError`.
+
+    Version-checks first so a future producer fails with "unsupported
+    version" rather than a wall of field errors.
+    """
+    if not isinstance(document, dict):
+        raise SchemaError(f"stats document must be an object, got {type(document).__name__}")
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported stats schema_version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    problems: List[str] = []
+    _check(document, STATS_SCHEMA, "$", problems)
+    if problems:
+        raise SchemaError(
+            f"{len(problems)} schema violation(s): " + "; ".join(problems[:20])
+        )
+
+
+def validate_spans(spans: Any) -> int:
+    """Validate an exported span list (the bench harness's stats document).
+
+    Returns the number of spans; raises :class:`SchemaError` if any is
+    malformed.
+    """
+    problems: List[str] = []
+    _check(spans, ("array", SPAN_SCHEMA), "$.stages", problems)
+    if problems:
+        raise SchemaError(
+            f"{len(problems)} schema violation(s): " + "; ".join(problems[:20])
+        )
+    return len(spans)
+
+
+def validate_stats_json(payload: Any) -> int:
+    """Validate a CLI export: one stats object or an array of them.
+
+    Returns the number of documents validated; raises :class:`SchemaError`
+    on the first invalid one.
+    """
+    documents = payload if isinstance(payload, list) else [payload]
+    for document in documents:
+        validate_stats(document)
+    return len(documents)

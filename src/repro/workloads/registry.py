@@ -38,7 +38,16 @@ from .hamming import hamming_network
 from .inputs import plant, token_stream, uniform_bytes
 from .levenshtein import levenshtein_network
 
-__all__ = ["PaperStats", "AppSpec", "APPS", "app_names", "get_app", "DEFAULT_SCALE"]
+__all__ = [
+    "PaperStats",
+    "AppSpec",
+    "APPS",
+    "ALIASES",
+    "app_names",
+    "get_app",
+    "resolve_abbr",
+    "DEFAULT_SCALE",
+]
 
 DEFAULT_SCALE = 16
 
@@ -794,14 +803,47 @@ def _make_apps() -> Dict[str, AppSpec]:
 
 APPS: Dict[str, AppSpec] = _make_apps()
 
+#: Alternate spellings accepted anywhere an abbreviation is: the paper's
+#: shorter table abbreviations and common long-form names.
+ALIASES: Dict[str, str] = {
+    "SNT": "Snort",
+    "SNT_L": "Snort_L",
+    "SNORT_BIG": "Snort_L",
+    "CLAMAV": "CAV",
+    "CLAMAV4K": "CAV4k",
+    "PROTOMATA": "Pro",
+    "POWEREN": "PEN",
+    "LEVENSHTEIN": "LV",
+    "HAMMING": "HM",
+    "BRO": "Bro217",
+}
+
 
 def app_names() -> List[str]:
     """All 26 application abbreviations in Table II order."""
     return list(APPS)
 
 
+def resolve_abbr(name: str) -> Optional[str]:
+    """The canonical abbreviation for ``name``, or ``None`` if unknown.
+
+    Tries the exact abbreviation, then the alias table, then a
+    case-insensitive match against both.
+    """
+    if name in APPS:
+        return name
+    alias = ALIASES.get(name) or ALIASES.get(name.upper())
+    if alias is not None:
+        return alias
+    lowered = name.lower()
+    for abbr in APPS:
+        if abbr.lower() == lowered:
+            return abbr
+    return None
+
+
 def get_app(abbr: str) -> AppSpec:
-    try:
-        return APPS[abbr]
-    except KeyError:
-        raise KeyError(f"unknown application {abbr!r}; known: {', '.join(APPS)}") from None
+    canonical = resolve_abbr(abbr)
+    if canonical is None:
+        raise KeyError(f"unknown application {abbr!r}; known: {', '.join(APPS)}")
+    return APPS[canonical]

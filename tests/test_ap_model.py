@@ -47,6 +47,32 @@ class TestAPConfig:
         assert scaled.capacity == 50000
         assert scaled.routing_stes >= 50000
 
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 17, 255, 256, 257, 24577])
+    def test_with_capacity_tiny_and_odd(self, capacity):
+        # Regression: every derived config must be a valid APConfig whose
+        # routing matrix fits the requested capacity, even for capacities
+        # far below (or just past) one block.
+        scaled = HALF_CORE.with_capacity(capacity)
+        assert scaled.capacity == capacity
+        assert scaled.routing_stes >= capacity
+        assert scaled.blocks >= 1
+
+    def test_with_capacity_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            HALF_CORE.with_capacity(0)
+        with pytest.raises(ValueError, match="positive"):
+            HALF_CORE.with_capacity(-5)
+
+    def test_zero_geometry_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="rows_per_block"):
+            APConfig(capacity=16, rows_per_block=0)
+        with pytest.raises(ValueError, match="stes_per_row"):
+            APConfig(capacity=16, stes_per_row=0)
+        with pytest.raises(ValueError, match="blocks"):
+            APConfig(capacity=16, blocks=0)
+        with pytest.raises(ValueError, match="report_queue_entries"):
+            APConfig(report_queue_entries=0)
+
     def test_cycles_to_seconds(self):
         assert HALF_CORE.cycles_to_seconds(1_000_000) == pytest.approx(7.5e-3)
 
@@ -118,11 +144,50 @@ class TestSliceNetwork:
         assert min_batches(25, 24) == 2
 
 
+#: A non-default geometry: 8 blocks of 4 rows of 8 STEs (256 STEs).
+SMALL_GEOMETRY = APConfig(capacity=256, blocks=8, rows_per_block=4, stes_per_row=8)
+
+
 class TestChip:
     def test_decode_encode_round_trip(self):
         for sid in [0, 15, 16, 255, 256, 24575]:
             address = decode_state_id(sid, HALF_CORE)
             assert encode_address(address, HALF_CORE) == sid
+
+    @pytest.mark.parametrize(
+        "config", [HALF_CORE, FULL_CHIP, QUARTER_CORE, SMALL_GEOMETRY],
+        ids=["half_core", "full_chip", "quarter_core", "small_geometry"],
+    )
+    def test_round_trip_every_state_id(self, config):
+        # Property: encode(decode(s)) == s for every addressable state id,
+        # and decode never exceeds the geometry's field ranges.
+        for sid in range(config.routing_stes):
+            address = decode_state_id(sid, config)
+            assert 0 <= address.ste < config.stes_per_row
+            assert 0 <= address.row < config.rows_per_block
+            assert 0 <= address.block < config.blocks
+            assert encode_address(address, config) == sid
+
+    def test_non_default_geometry_field_split(self):
+        # 8 STEs/row -> 3 STE bits; 4 rows/block -> 2 row bits.  State id
+        # 0b10110101 = block 0b101, row 0b10, ste 0b101 under this geometry
+        # (the old hard-coded 4/4-bit split would have mis-addressed it).
+        address = decode_state_id(0b10110101, SMALL_GEOMETRY)
+        assert address == STEAddress(block=0b101, row=0b10, ste=0b101)
+
+    def test_decode_matches_row_major_flat(self):
+        # The decoder's hierarchical split must agree with the placement
+        # model's row-major flattening for any power-of-two geometry.
+        for config in (HALF_CORE, SMALL_GEOMETRY):
+            for sid in (0, 1, 7, 63, 100, config.routing_stes - 1):
+                assert decode_state_id(sid, config).flat(config) == sid
+
+    def test_non_power_of_two_geometry_rejected(self):
+        lopsided = APConfig(capacity=96, blocks=2, rows_per_block=4, stes_per_row=12)
+        with pytest.raises(ValueError, match="power of two"):
+            decode_state_id(5, lopsided)
+        with pytest.raises(ValueError, match="power of two"):
+            encode_address(STEAddress(0, 0, 0), lopsided)
 
     def test_decode_fields(self):
         address = decode_state_id(0x1234, HALF_CORE)

@@ -121,6 +121,18 @@ class TestSplitInput:
         with pytest.raises(ValueError):
             split_input(b"x" * 10, 0.0)
 
+    def test_too_short_input_rejected(self):
+        # Regression: a 0- or 1-symbol input used to come back with an
+        # *empty* profiling input (the 1-symbol floor clamped to half == 0),
+        # silently profiling nothing.
+        for data in (b"", b"x"):
+            with pytest.raises(ValueError, match="at least 2"):
+                split_input(data, 0.5)
+
+    def test_two_symbols_is_the_floor(self):
+        profile, test = split_input(b"ab", 0.5)
+        assert profile == b"a" and test == b"b"
+
     def test_profile_is_prefix_of_first_half(self):
         data = bytes(range(200))
         profile, _ = split_input(data, 0.1)

@@ -24,9 +24,48 @@ class TestReportQueue:
         assert queue_usage(128, HALF_CORE).refills == 1
         assert queue_usage(129, HALF_CORE).refills == 2
 
+    @pytest.mark.parametrize(
+        "n_reports,refills",
+        [
+            (0, 0),          # empty list: the queue is never loaded
+            (1, 1),          # a single report still costs one refill
+            (127, 1), (128, 1),  # up to one full window
+            (129, 2),        # +1 past the window forces a second refill
+            (256, 2),        # exact multiple of the 128-entry queue
+            (257, 3),        # +1 past an exact multiple
+            (3 * 128, 3), (3 * 128 + 1, 4),
+        ],
+    )
+    def test_refill_boundaries(self, n_reports, refills):
+        usage = queue_usage(n_reports, HALF_CORE)
+        assert usage.refills == refills
+        # Device traffic is per report (6 B each), not per refill window.
+        assert usage.device_bytes == 6 * n_reports
+
+    def test_boundaries_follow_configured_queue_size(self):
+        from repro.ap import APConfig
+
+        tiny = APConfig(report_queue_entries=4)
+        assert queue_usage(0, tiny).refills == 0
+        assert queue_usage(1, tiny).refills == 1
+        assert queue_usage(4, tiny).refills == 1
+        assert queue_usage(5, tiny).refills == 2
+        assert queue_usage(8, tiny).refills == 2
+        assert queue_usage(9, tiny).refills == 3
+        assert queue_usage(9, tiny).on_chip_bytes == 4 * 6
+
     def test_on_chip_budget_matches_paper(self):
         usage = queue_usage(1, HALF_CORE)
         assert usage.on_chip_bytes == 128 * 6  # §V-B storage estimate
+
+    def test_to_json_counters(self):
+        payload = queue_usage(129, HALF_CORE).to_json()
+        assert payload == {
+            "n_reports": 129,
+            "refills": 2,
+            "device_bytes": 129 * 6,
+            "on_chip_bytes": 128 * 6,
+        }
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
