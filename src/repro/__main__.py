@@ -15,13 +15,17 @@ Commands:
 * ``verify [ABBR ...|--all]`` — static verification (the automata
   sanitizer): lint networks and prove the partition/batch-plan invariants
   without running any simulation.
+* ``semant [ABBR ...|--all]`` — semantic static analysis
+  (``repro.semant``): the abstract-interpretation dead-state prover, the
+  profile-free hot/cold predictor, and the differential SPAP-S checks
+  against the profiler and the simulation ground truth.
 
 Application names accept the registry abbreviations plus paper-table
 aliases (``SNT`` for ``Snort``), case-insensitively.  Unknown application
 or figure names exit with status 2 and a "did you mean" suggestion;
-``verify`` exits 1 when any rule of ERROR severity fires.  ``--no-verify``
-on the experiment commands disables the pipeline's fail-fast invariant
-checks (see ``repro.verify``).
+``verify`` and ``semant`` exit 1 when any rule of ERROR severity fires.
+``--no-verify`` on the experiment commands disables the pipeline's
+fail-fast invariant checks (see ``repro.verify``).
 """
 
 from __future__ import annotations
@@ -173,7 +177,8 @@ def _cmd_sweep(args) -> int:
         print(f"geomean speedups: SpAP {summary['geomean_spap_speedup']:.2f}x, "
               f"AP-CPU {summary['geomean_ap_cpu_speedup']:.2f}x; "
               f"mean prediction accuracy "
-              f"{summary['mean_prediction_accuracy']:.3f}; "
+              f"{summary['mean_prediction_accuracy']:.3f} profiled / "
+              f"{summary['mean_static_accuracy']:.3f} static; "
               f"{summary['total_intermediate_reports']} intermediate reports, "
               f"{summary['total_queue_refills']} queue refills, "
               f"{summary['total_device_bytes']} device bytes")
@@ -248,6 +253,44 @@ def _cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_semant(args) -> int:
+    from .semant.app import semant_app
+
+    if args.all:
+        targets: Optional[List[str]] = app_names()
+    elif args.apps:
+        targets = _resolve_apps(args.apps)
+        if targets is None:
+            return 2
+    else:
+        print("semant: name at least one application or pass --all",
+              file=sys.stderr)
+        return 2
+
+    config = default_config()
+    failed = 0
+    payload = []
+    for abbr in targets:
+        outcome = semant_app(abbr, config,
+                             fraction=args.profile, horizon=args.horizon)
+        if args.json:
+            payload.append(outcome.to_json())
+        else:
+            print(outcome.summary.render())
+            report = outcome.report
+            if report.errors or (report.warnings and args.verbose):
+                print(report.render_text(verbose=args.verbose))
+        failed += 0 if outcome.ok else 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload, indent=2))
+    elif len(targets) > 1:
+        print(f"{len(targets) - failed}/{len(targets)} applications "
+              "semantically sound")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -316,6 +359,26 @@ def main(argv: Optional[list] = None) -> int:
     verify_parser.add_argument("--profile", type=float, default=None,
                                help="profiling fraction for the partition pass")
 
+    semant_parser = sub.add_parser(
+        "semant",
+        help="semantic static analysis: dead-state proofs, profile-free "
+             "prediction, differential SPAP-S checks (repro.semant)",
+    )
+    semant_parser.add_argument("apps", nargs="*",
+                               help="application abbreviations (see list-apps)")
+    semant_parser.add_argument("--all", action="store_true",
+                               help="analyze every registry application")
+    semant_parser.add_argument("--json", action="store_true",
+                               help="emit a JSON report instead of text")
+    semant_parser.add_argument("--verbose", action="store_true",
+                               help="print warnings and fix hints, not just errors")
+    semant_parser.add_argument("--profile", type=float, default=None,
+                               help="profiling fraction for the differential "
+                                    "comparison (default 0.01)")
+    semant_parser.add_argument("--horizon", type=int, default=None,
+                               help="enabling-opportunity horizon for the "
+                                    "static predictor (default: input length)")
+
     args = parser.parse_args(argv)
     handlers = {
         "list-apps": _cmd_list_apps,
@@ -325,6 +388,7 @@ def main(argv: Optional[list] = None) -> int:
         "sweep": _cmd_sweep,
         "stats": _cmd_stats,
         "verify": _cmd_verify,
+        "semant": _cmd_semant,
     }
     return handlers[args.command](args)
 

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from ..ap.config import APConfig
 from ..core.partition import PartitionedNetwork, partition_network, plan_hot_batches
-from ..core.profiling import choose_partition_layers
+from ..core.profiling import choose_partition_layers, layer_closure_mask
 from ..core.scenarios import (
     BaselineOutcome,
     PartitionedOutcome,
@@ -28,6 +30,8 @@ from ..core.scenarios import (
 )
 from ..nfa.analysis import NetworkTopology, analyze_network
 from ..nfa.automaton import Network
+from ..semant.absint import SemanticFacts, analyze_network_semantics
+from ..semant.predict import StaticPrediction, predict_hot_cold
 from ..sim.compiled import CompiledNetwork, compile_network
 from ..sim.engine import run
 from ..sim.result import SimResult
@@ -48,6 +52,8 @@ class AppRun:
         self.stats = StageTimer()
         self._network: Optional[Network] = None
         self._topology: Optional[NetworkTopology] = None
+        self._semantics: Optional[SemanticFacts] = None
+        self._static_predictions: Dict[int, StaticPrediction] = {}
         self._compiled: Optional[CompiledNetwork] = None
         self._entire_input: Optional[bytes] = None
         self._truth: Optional[SimResult] = None
@@ -72,6 +78,26 @@ class AppRun:
             with self.stats.stage("topology"):
                 self._topology = analyze_network(self.network)
         return self._topology
+
+    @property
+    def semantics(self) -> SemanticFacts:
+        """Abstract-interpretation facts over the parent network (repro.semant)."""
+        if self._semantics is None:
+            topology = self.topology  # timed under its own stage
+            with self.stats.stage("semant"):
+                self._semantics = analyze_network_semantics(self.network, topology)
+        return self._semantics
+
+    def static_prediction(self, horizon: Optional[int] = None) -> StaticPrediction:
+        """Profile-free hot/cold prediction (default horizon: the input length)."""
+        h = self.config.input_len if horizon is None else horizon
+        if h not in self._static_predictions:
+            facts = self.semantics  # timed under the same `semant` stage
+            with self.stats.stage("semant"):
+                self._static_predictions[h] = predict_hot_cold(
+                    self.network, facts, self.topology, horizon=h
+                )
+        return self._static_predictions[h]
 
     @property
     def compiled(self) -> CompiledNetwork:
@@ -123,6 +149,12 @@ class AppRun:
                     self.compiled, self.profile_input(fraction), track_enabled=True
                 )
         return self._profiles[fraction]
+
+    def predicted_hot_mask(self, fraction: float) -> np.ndarray:
+        """The layer-closed profiled prediction (what the partitioner uses)."""
+        hot = self.profile(fraction).hot_mask()
+        layers = choose_partition_layers(self.network, self.topology, hot)
+        return layer_closure_mask(self.network, self.topology, layers)
 
     def partition(self, fraction: float, config: APConfig,
                   *, fill: bool = True) -> Tuple[PartitionedNetwork, list]:

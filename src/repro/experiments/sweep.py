@@ -81,6 +81,8 @@ class AppSweepRow:
     queue_refills: int
     device_bytes: int
     prediction_accuracy: float
+    static_accuracy: float  # profile-free predictor (repro.semant)
+    n_statically_dead: int
     spap_speedup: float
     ap_cpu_speedup: float
     resource_saving: float
@@ -116,6 +118,8 @@ def sweep_app(abbr: str, config: ExperimentConfig,
         queue_refills=stats.queue_refills,
         device_bytes=stats.device_bytes,
         prediction_accuracy=stats.prediction_accuracy,
+        static_accuracy=stats.static_accuracy,
+        n_statically_dead=stats.n_statically_dead,
         spap_speedup=stats.spap_speedup,
         ap_cpu_speedup=stats.ap_cpu_speedup,
         resource_saving=stats.resource_saving,
@@ -173,6 +177,7 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
             row.n_intermediate_reports,
             row.queue_refills,
             f"{row.prediction_accuracy:.3f}",
+            f"{row.static_accuracy:.3f}",
             f"{row.spap_speedup:.2f}x",
             f"{row.ap_cpu_speedup:.2f}x",
             f"{100.0 * row.resource_saving:.1f}%",
@@ -182,7 +187,8 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
     ]
     return render_table(
         ["App", "Group", "States", "NFAs", "Hot", "Batches", "Stalls",
-         "IRs", "Refills", "PredAcc", "SpAP", "AP-CPU", "Saved", "Wall"],
+         "IRs", "Refills", "PredAcc", "StatAcc", "SpAP", "AP-CPU", "Saved",
+         "Wall"],
         body,
     )
 
@@ -202,6 +208,10 @@ def sweep_summary(rows: Sequence[AppSweepRow]) -> dict:
         "mean_resource_saving": sum(row.resource_saving for row in rows) / len(rows),
         "mean_prediction_accuracy":
             sum(row.prediction_accuracy for row in rows) / len(rows),
+        "mean_static_accuracy":
+            sum(row.static_accuracy for row in rows) / len(rows),
+        "total_statically_dead":
+            sum(row.n_statically_dead for row in rows),
         "total_intermediate_reports":
             sum(row.n_intermediate_reports for row in rows),
         "total_queue_refills": sum(row.queue_refills for row in rows),

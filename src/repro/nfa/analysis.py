@@ -11,7 +11,7 @@ the order divided by the maximum order in that automaton.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -30,7 +30,9 @@ __all__ = [
 DEPTH_BUCKET_NAMES = ("shallow", "medium", "deep")
 
 
-def strongly_connected_components(n_states: int, successors) -> List[int]:
+def strongly_connected_components(
+    n_states: int, successors: Callable[[int], Sequence[int]]
+) -> List[int]:
     """Tarjan's algorithm, iteratively.
 
     ``successors`` maps a state id to a sequence of successor ids.  Returns a
@@ -97,7 +99,15 @@ class Topology:
 
     @property
     def normalized_depth(self) -> np.ndarray:
-        """Per-state depth in (0, 1]; 1 is the deepest layer (paper §III-A)."""
+        """Per-state depth in (0, 1]; 1 is the deepest layer (paper §III-A).
+
+        An empty automaton has ``max_order == 0``; rather than leaning on
+        numpy's 0/0 semantics, the depth array is returned explicitly empty
+        (every state of a non-empty automaton has order >= 1, so a zero
+        ``max_order`` implies zero states).
+        """
+        if self.max_order == 0:
+            return np.zeros(self.topo_order.shape, dtype=float)
         return self.topo_order / float(self.max_order)
 
     def layer_states(self, order: int) -> np.ndarray:
@@ -116,7 +126,7 @@ def analyze_automaton(automaton: Automaton) -> Topology:
     # Condensation predecessor lists.  Tarjan assigns SCC ids in pop order,
     # so iterating ids from high to low visits the condensation in topological
     # order (sources first).
-    preds: List[set] = [set() for _ in range(n_sccs)]
+    preds: List[Set[int]] = [set() for _ in range(n_sccs)]
     for src, dst in automaton.edges():
         cs, cd = scc[src], scc[dst]
         if cs != cd:

@@ -74,16 +74,16 @@ class DFA:
 
 def _alphabet_classes(network: Network) -> Tuple[np.ndarray, int]:
     """Group symbols that every state in the network treats identically."""
-    masks: Dict[Tuple, int] = {}
+    classes: Dict[Tuple, int] = {}
     class_of = np.zeros(ALPHABET_SIZE, dtype=np.int64)
-    distinct_sets = {state.symbol_set.mask for _g, _a, state in network.global_states()}
-    ordered = sorted(distinct_sets)
+    distinct_sets = {state.symbol_set for _g, _a, state in network.global_states()}
+    ordered = sorted(distinct_sets, key=lambda symbol_set: symbol_set.mask)
     for symbol in range(ALPHABET_SIZE):
-        signature = tuple((mask >> symbol) & 1 for mask in ordered)
-        if signature not in masks:
-            masks[signature] = len(masks)
-        class_of[symbol] = masks[signature]
-    return class_of, len(masks)
+        signature = tuple(symbol_set.matches(symbol) for symbol_set in ordered)
+        if signature not in classes:
+            classes[signature] = len(classes)
+        class_of[symbol] = classes[signature]
+    return class_of, len(classes)
 
 
 def determinize(network: Network, *, max_states: int = 65536) -> DFA:

@@ -115,6 +115,10 @@ class SymbolSet:
     def is_universal(self) -> bool:
         return self._mask == _FULL_MASK
 
+    def is_disjoint(self, other: "SymbolSet") -> bool:
+        """Whether this set shares no symbol with ``other``."""
+        return not self._mask & other._mask
+
     def to_bool_array(self) -> np.ndarray:
         """A length-256 boolean accept vector (row layout of an STE column)."""
         out = np.zeros(ALPHABET_SIZE, dtype=bool)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from .automaton import Automaton, Network, StartKind
+from .symbolset import SymbolSet
 
 __all__ = ["duplicate_network", "is_chain", "merge_common_prefixes"]
 
@@ -77,16 +78,15 @@ def merge_common_prefixes(network: Network) -> Network:
 
     for start_kind, members in chains.items():
         trie = Automaton(f"{network.name}/trie/{start_kind.value}")
-        # node key: path of symbol-set masks from the root.
-        children: Dict[Tuple, Dict[int, Tuple]] = {(): {}}
+        # node key: path of symbol sets from the root (SymbolSet is hashable).
+        children: Dict[Tuple, Dict[SymbolSet, Tuple]] = {(): {}}
         node_state: Dict[Tuple, int] = {}
 
-        def node_for(path: Tuple, symbol_set, depth: int) -> Tuple:
+        def node_for(path: Tuple, symbol_set: SymbolSet, depth: int) -> Tuple:
             parent_children = children[path]
-            key = symbol_set.mask
-            if key in parent_children:
-                return parent_children[key]
-            new_path = path + (key,)
+            if symbol_set in parent_children:
+                return parent_children[symbol_set]
+            new_path = path + (symbol_set,)
             sid = trie.add_state(
                 symbol_set,
                 start=start_kind if depth == 0 else StartKind.NONE,
@@ -95,7 +95,7 @@ def merge_common_prefixes(network: Network) -> Network:
                 trie.add_edge(node_state[path], sid)
             node_state[new_path] = sid
             children[new_path] = {}
-            parent_children[key] = new_path
+            parent_children[symbol_set] = new_path
             return new_path
 
         for automaton in members:

@@ -1,0 +1,62 @@
+"""Static semantic analysis of compiled networks (`repro.semant`).
+
+Where :mod:`repro.verify` proves *structural* invariants (shapes, ids,
+cuts, capacities), this package proves *semantic* facts about what a
+network can ever do, with no input at all:
+
+* :func:`analyze_network_semantics` — a symbol-set abstract interpreter
+  over the SCC condensation, proving states statically dead (no input
+  string can ever enable them) and never-reporting (their activity can
+  never be observed);
+* :func:`predict_hot_cold` — a profile-free hot/cold predictor from
+  normalized depth and symbol-set selectivity, producing the same
+  layer-closed mask shape as ``core.profiling`` so the partitioner can
+  consume it unchanged;
+* :func:`differential_report` — the SPAP-Sxxx rule family: static
+  prediction, dynamic profiling, and the simulation ground truth checked
+  side by side (soundness violations are hard errors);
+
+plus :func:`semant_app`, which runs the whole stack over one registry
+application.  Exposed on the command line as ``python -m repro semant``;
+rule catalogue in DESIGN.md appendix B, soundness argument in DESIGN.md
+§10.
+"""
+
+from typing import TYPE_CHECKING
+
+from .absint import (
+    AutomatonFacts,
+    SemanticFacts,
+    analyze_automaton_semantics,
+    analyze_network_semantics,
+)
+from .differential import agreement_fraction, differential_report
+from .predict import DEFAULT_HORIZON, StaticPrediction, log2_path_weights, predict_hot_cold
+
+if TYPE_CHECKING:  # the app driver is imported lazily (see semant_app below)
+    from .app import SemantOutcome
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "AutomatonFacts",
+    "SemanticFacts",
+    "StaticPrediction",
+    "agreement_fraction",
+    "analyze_automaton_semantics",
+    "analyze_network_semantics",
+    "differential_report",
+    "log2_path_weights",
+    "predict_hot_cold",
+    "semant_app",
+]
+
+
+def semant_app(*args: object, **kwargs: object) -> "SemantOutcome":
+    """Lazy proxy for :func:`repro.semant.app.semant_app`.
+
+    Imported on first call: the app driver pulls in the experiments
+    pipeline, which itself imports this package for its ``semant`` stage.
+    """
+    from .app import semant_app as _semant_app
+
+    return _semant_app(*args, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,243 @@
+"""Symbol-set abstract interpretation of homogeneous NFA semantics.
+
+The dynamic pipeline (``core.profiling``) learns which states are cold by
+*running* a profiling input; this module learns which states are dead *by
+construction* — under every possible input — by abstractly interpreting the
+network once, with no input at all.
+
+The abstract domain is the lattice of :class:`~repro.nfa.symbolset.SymbolSet`
+under union.  For every state ``v`` we compute ``inflow(v)``: an
+over-approximation of the set of symbols whose consumption can immediately
+precede ``v`` becoming enabled.  The transfer function follows the paper's
+§II-A execution semantics exactly:
+
+* a start state is enabled unconditionally (at position 0 for
+  ``START_OF_DATA``, at every position for ``ALL_INPUT``), so its inflow is
+  ``⊤`` (the universal set);
+* an edge ``u -> v`` hands off ``symbol_set(u)`` — but only if ``u`` itself
+  can be enabled (``inflow(u) ≠ ∅``), because ``v`` is enabled exactly when
+  ``u`` *activates*, which requires ``u`` enabled and a symbol in ``u``'s
+  set; a state whose own symbol-set is empty therefore hands off nothing;
+* ``inflow(v)`` is the join (union) over all such hand-offs, plus ``⊤``
+  for starts.
+
+Facts are propagated along the SCC condensation from
+:mod:`repro.nfa.analysis` — components in topological order (sources first),
+with a worklist fixpoint inside each component, since members of a cycle can
+enable one another.
+
+Because the domain over-approximates reachability, the verdicts are
+one-sided (DESIGN.md §10): ``inflow(v) = ∅`` is a *proof* that no input
+string ever enables ``v`` (statically dead); a non-empty inflow only means
+"possibly live".  A backward pass computes the dual observability fact:
+``can_report(v)`` over-approximates "if ``v`` is enabled, some input yields
+an observable report downstream"; its negation proves a state's activity can
+never be observed (never-reporting).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nfa.analysis import NetworkTopology, Topology, analyze_automaton, analyze_network
+from ..nfa.automaton import Automaton, Network
+from ..nfa.symbolset import SymbolSet
+
+__all__ = [
+    "AutomatonFacts",
+    "SemanticFacts",
+    "analyze_automaton_semantics",
+    "analyze_network_semantics",
+]
+
+
+@dataclass
+class AutomatonFacts:
+    """Semantic facts proven for one automaton.
+
+    ``inflow`` is the per-state abstract value described in the module
+    docstring; the boolean arrays are the verdicts derived from it.  All
+    "dead" verdicts are proofs (sound over-approximation); all "live"
+    verdicts are maybes.
+    """
+
+    inflow: List[SymbolSet]  # per-state join of predecessor hand-offs
+    enableable: np.ndarray  # bool: some input may enable the state
+    activatable: np.ndarray  # bool: enableable and own symbol-set non-empty
+    can_report: np.ndarray  # bool: enabling it may lead to an observable report
+    graph_reachable: np.ndarray  # bool: reachable ignoring symbol-set emptiness
+
+    @property
+    def statically_dead(self) -> np.ndarray:
+        """States no input string can ever enable (a proof, not a heuristic)."""
+        return ~self.enableable
+
+    @property
+    def never_reporting(self) -> np.ndarray:
+        """Live states whose activity can never reach a reporting state."""
+        return self.enableable & ~self.can_report
+
+    @property
+    def semantically_blocked(self) -> np.ndarray:
+        """Dead states the pure graph reachability of ``verify_network``
+        (SPAP-N004) would call live: every enabling path crosses an
+        empty-symbol-set hand-off."""
+        return self.statically_dead & self.graph_reachable
+
+
+def _forward_inflow(automaton: Automaton, topology: Topology) -> List[SymbolSet]:
+    """Propagate inflow sets along the condensation, sources first."""
+    n = automaton.n_states
+    empty = SymbolSet.empty()
+    top = SymbolSet.universal()
+    inflow: List[SymbolSet] = [empty] * n
+    for state in automaton.states():
+        if state.is_start:
+            inflow[state.sid] = top
+
+    scc = topology.scc_id
+    members: List[List[int]] = [[] for _ in range(topology.n_sccs)]
+    for sid in range(n):
+        members[int(scc[sid])].append(sid)
+
+    # Tarjan assigns SCC ids in pop order: descending id is a topological
+    # order of the condensation from sources to sinks (see nfa.analysis).
+    for component in range(topology.n_sccs - 1, -1, -1):
+        work = [sid for sid in members[component] if inflow[sid]]
+        while work:
+            u = work.pop()
+            handoff = automaton.state(u).symbol_set
+            if not handoff:
+                continue  # u can never activate: the edge transfers nothing
+            for v in automaton.successors(u):
+                joined = inflow[v].union(handoff)
+                if joined != inflow[v]:
+                    inflow[v] = joined
+                    # Cross-component successors are finished when their own
+                    # (later) component runs; only same-component updates can
+                    # feed back into this fixpoint.
+                    if int(scc[v]) == component:
+                        work.append(v)
+    return inflow
+
+
+def _backward_can_report(automaton: Automaton) -> np.ndarray:
+    """States from which an *activation* path reaches a firing reporter."""
+    n = automaton.n_states
+    can_report = np.zeros(n, dtype=bool)
+    queue = deque(
+        state.sid
+        for state in automaton.states()
+        if state.reporting and state.symbol_set
+    )
+    for sid in queue:
+        can_report[sid] = True
+    preds = automaton.predecessors_map()
+    while queue:
+        v = queue.popleft()
+        for u in preds[v]:
+            # u passes activity on only if it can itself activate.
+            if not can_report[u] and automaton.state(u).symbol_set:
+                can_report[u] = True
+                queue.append(u)
+    return can_report
+
+
+def _graph_reachable(automaton: Automaton) -> np.ndarray:
+    """Plain forward reachability from the start set (no symbol facts)."""
+    n = automaton.n_states
+    seen = np.zeros(n, dtype=bool)
+    queue = deque(automaton.start_states())
+    for sid in queue:
+        seen[sid] = True
+    while queue:
+        u = queue.popleft()
+        for v in automaton.successors(u):
+            if not seen[v]:
+                seen[v] = True
+                queue.append(v)
+    return seen
+
+
+def analyze_automaton_semantics(
+    automaton: Automaton, topology: Optional[Topology] = None
+) -> AutomatonFacts:
+    """Run the forward and backward abstract passes over one automaton."""
+    if topology is None:
+        topology = analyze_automaton(automaton)
+    inflow = _forward_inflow(automaton, topology)
+    enableable = np.fromiter(
+        (bool(f) for f in inflow), dtype=bool, count=automaton.n_states
+    )
+    own_nonempty = np.fromiter(
+        (bool(s.symbol_set) for s in automaton.states()),
+        dtype=bool,
+        count=automaton.n_states,
+    )
+    return AutomatonFacts(
+        inflow=inflow,
+        enableable=enableable,
+        activatable=enableable & own_nonempty,
+        can_report=_backward_can_report(automaton),
+        graph_reachable=_graph_reachable(automaton),
+    )
+
+
+@dataclass
+class SemanticFacts:
+    """Per-state facts flattened over a whole network (global id order)."""
+
+    per_automaton: List[AutomatonFacts]
+    enableable: np.ndarray
+    activatable: np.ndarray
+    can_report: np.ndarray
+    graph_reachable: np.ndarray
+
+    @property
+    def statically_dead(self) -> np.ndarray:
+        return ~self.enableable
+
+    @property
+    def never_reporting(self) -> np.ndarray:
+        return self.enableable & ~self.can_report
+
+    @property
+    def semantically_blocked(self) -> np.ndarray:
+        return self.statically_dead & self.graph_reachable
+
+    @property
+    def n_statically_dead(self) -> int:
+        return int(self.statically_dead.sum())
+
+    @property
+    def n_never_reporting(self) -> int:
+        return int(self.never_reporting.sum())
+
+
+def analyze_network_semantics(
+    network: Network, topology: Optional[NetworkTopology] = None
+) -> SemanticFacts:
+    """Analyze every automaton; concatenate per-state arrays in global order."""
+    if topology is None:
+        topology = analyze_network(network)
+    per = [
+        analyze_automaton_semantics(automaton, topology.per_automaton[index])
+        for index, automaton in enumerate(network.automata)
+    ]
+
+    def _concat(arrays: List[np.ndarray]) -> np.ndarray:
+        if not arrays:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(arrays)
+
+    return SemanticFacts(
+        per_automaton=per,
+        enableable=_concat([f.enableable for f in per]),
+        activatable=_concat([f.activatable for f in per]),
+        can_report=_concat([f.can_report for f in per]),
+        graph_reachable=_concat([f.graph_reachable for f in per]),
+    )

@@ -1,0 +1,150 @@
+"""End-to-end semantic analysis of one registry application.
+
+Drives the cached experiment pipeline exactly as ``verify_app`` does, but
+through the *semantic* stack: abstract interpretation of the built network,
+profile-free hot/cold prediction, and the differential SPAP-Sxxx check
+against the profiling run and the simulation ground truth.  Used by the
+``python -m repro semant`` CLI and the CI soundness gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Union
+
+from ..core.metrics import prediction_quality
+from ..experiments.config import ExperimentConfig, default_config
+from ..experiments.pipeline import AppRun
+from ..verify.diagnostics import VerificationReport
+from ..workloads.registry import get_app
+from .differential import agreement_fraction, differential_report
+
+__all__ = ["SemantSummary", "SemantOutcome", "semant_app"]
+
+
+@dataclass(frozen=True)
+class SemantSummary:
+    """The aggregate numbers of one semantic-analysis run."""
+
+    app: str
+    n_states: int
+    n_statically_dead: int
+    n_never_reporting: int
+    n_semantically_blocked: int
+    truth_hot_fraction: float
+    static_hot_fraction: float
+    profiled_hot_fraction: float
+    static_accuracy: float
+    static_precision: float
+    static_recall: float
+    profiled_accuracy: float
+    prediction_agreement: float  # static vs profiled, fraction of states
+    horizon: int
+
+    def to_json(self) -> Dict[str, Union[str, int, float]]:
+        return {
+            "app": self.app,
+            "n_states": self.n_states,
+            "n_statically_dead": self.n_statically_dead,
+            "n_never_reporting": self.n_never_reporting,
+            "n_semantically_blocked": self.n_semantically_blocked,
+            "truth_hot_fraction": self.truth_hot_fraction,
+            "static_hot_fraction": self.static_hot_fraction,
+            "profiled_hot_fraction": self.profiled_hot_fraction,
+            "static_accuracy": self.static_accuracy,
+            "static_precision": self.static_precision,
+            "static_recall": self.static_recall,
+            "profiled_accuracy": self.profiled_accuracy,
+            "prediction_agreement": self.prediction_agreement,
+            "horizon": self.horizon,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.app}: {self.n_states} states; "
+            f"{self.n_statically_dead} proven dead, "
+            f"{self.n_never_reporting} never-reporting; "
+            f"hot {100 * self.truth_hot_fraction:.1f}% truth / "
+            f"{100 * self.static_hot_fraction:.1f}% static / "
+            f"{100 * self.profiled_hot_fraction:.1f}% profiled; "
+            f"static acc {self.static_accuracy:.3f} "
+            f"(profiled {self.profiled_accuracy:.3f}), "
+            f"agreement {self.prediction_agreement:.3f}"
+        )
+
+
+@dataclass
+class SemantOutcome:
+    """Summary plus the full differential report for one application."""
+
+    summary: SemantSummary
+    report: VerificationReport
+
+    @property
+    def ok(self) -> bool:
+        """True when the soundness rules (ERROR severity) are all clean."""
+        return self.report.ok
+
+    def to_json(self) -> Dict[str, object]:
+        return {"summary": self.summary.to_json(), "report": self.report.to_json()}
+
+
+def semant_app(
+    abbr: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fraction: Optional[float] = None,
+    horizon: Optional[int] = None,
+) -> SemantOutcome:
+    """Semantically analyze one application end-to-end.
+
+    Builds the scaled network, abstractly interprets it, predicts hot/cold
+    statically (over ``horizon`` symbols, default the configured input
+    length), profiles it at ``fraction`` (default: the configuration's
+    standard 1%), simulates the ground truth, and returns the differential
+    report plus a summary.  Never raises on findings.
+    """
+    cfg = config or default_config()
+    if cfg.verify:
+        # Like verify_app: the analysis itself must not fail fast mid-build.
+        cfg = replace(cfg, verify=False)
+    spec = get_app(abbr)  # raises KeyError for unknown apps (CLI maps to exit 2)
+    run = AppRun(spec, cfg)
+    use_fraction = cfg.profile_fractions[-1] if fraction is None else fraction
+
+    facts = run.semantics
+    static = run.static_prediction(horizon)
+    profiled = run.predicted_hot_mask(use_fraction)
+    truth = run.truth
+    truth_mask = truth.hot_mask()
+
+    report = differential_report(
+        run.network,
+        facts,
+        profiled_hot=profiled,
+        static_hot=static.predicted_hot_mask,
+        truth_hot=truth_mask,
+        truth_report_states=truth.reports[:, 1] if truth.reports.size else (),
+        subject=f"{abbr} [semant]",
+    )
+
+    n = run.network.n_states
+    static_quality = prediction_quality(static.predicted_hot_mask, truth_mask)
+    profiled_quality = prediction_quality(profiled, truth_mask)
+    summary = SemantSummary(
+        app=abbr,
+        n_states=n,
+        n_statically_dead=facts.n_statically_dead,
+        n_never_reporting=facts.n_never_reporting,
+        n_semantically_blocked=int(facts.semantically_blocked.sum()),
+        truth_hot_fraction=truth.hot_fraction(),
+        static_hot_fraction=(static.n_predicted_hot / n) if n else 0.0,
+        profiled_hot_fraction=(float(profiled.sum()) / n) if n else 0.0,
+        static_accuracy=static_quality.accuracy,
+        static_precision=static_quality.precision,
+        static_recall=static_quality.recall,
+        profiled_accuracy=profiled_quality.accuracy,
+        prediction_agreement=agreement_fraction(static.predicted_hot_mask, profiled),
+        horizon=static.horizon,
+    )
+    return SemantOutcome(summary=summary, report=report)

@@ -1,0 +1,150 @@
+"""Differential checking of static analysis vs profiling vs ground truth.
+
+Runs three views of the same network side by side —
+
+* the abstract interpreter's proofs (:mod:`repro.semant.absint`),
+* the dynamic, layer-closed profiled prediction (``core.profiling``), and
+* the simulation ground truth on the test input —
+
+and reports their disagreements through :mod:`repro.verify.diagnostics` as
+the ``SPAP-Sxxx`` rule family:
+
+* **soundness** (hard errors, fail tier-1): a truth-enabled state proven
+  statically dead (S001) or an observed report from a state proven
+  never-reporting (S002).  The static verdicts are one-sided proofs; a
+  counterexample from the simulator means the analyzer (or the engine)
+  is wrong.
+* **waste** (warnings): a provably-dead state kept hot by the profiler
+  (S003), a dead-but-graph-reachable state SPAP-N004 cannot see (S004),
+  and a never-reporting state predicted hot (S005).
+* **drift** (info): an aggregate count of static/profiled prediction
+  disagreement (S006).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nfa.automaton import Network
+from ..verify.diagnostics import VerificationReport
+from .absint import SemanticFacts
+
+__all__ = ["agreement_fraction", "differential_report"]
+
+
+def _locations(network: Network) -> List[str]:
+    """Human-readable per-global-state locations, computed once."""
+    out: List[str] = []
+    name = network.name or "network"
+    for index, automaton in enumerate(network.automata):
+        tag = f" ({automaton.name})" if automaton.name else ""
+        for sid in range(automaton.n_states):
+            out.append(f"{name}/automaton {index}{tag}/state {sid}")
+    return out
+
+
+def differential_report(
+    network: Network,
+    facts: SemanticFacts,
+    *,
+    profiled_hot: np.ndarray,
+    static_hot: np.ndarray,
+    truth_hot: np.ndarray,
+    truth_report_states: Optional[Iterable[int]] = None,
+    subject: str = "",
+) -> VerificationReport:
+    """Compare the three per-state views; emit SPAP-Sxxx findings.
+
+    ``profiled_hot`` and ``static_hot`` are the *layer-closed* predicted
+    masks (the shapes the partitioner consumes); ``truth_hot`` is the
+    ground-truth enabled mask from the test-input simulation.
+    ``truth_report_states`` optionally lists global state ids that actually
+    reported, enabling the S002 observability check.
+    """
+    n = network.n_states
+    report = VerificationReport(subject=subject or f"{network.name or 'network'} [semant]")
+    for label, mask in (
+        ("profiled", profiled_hot),
+        ("static", static_hot),
+        ("truth", truth_hot),
+    ):
+        if np.asarray(mask).shape != (n,):
+            raise ValueError(
+                f"{label} mask has shape {np.asarray(mask).shape}, expected ({n},)"
+            )
+    profiled = np.asarray(profiled_hot, dtype=bool)
+    static = np.asarray(static_hot, dtype=bool)
+    truth = np.asarray(truth_hot, dtype=bool)
+    where = _locations(network)
+
+    dead = facts.statically_dead
+    never = facts.never_reporting
+
+    # -- soundness: a proof contradicted by the simulator is a hard error ----
+    for gid in np.flatnonzero(truth & dead):
+        report.emit(
+            "SPAP-S001",
+            "state was enabled by the truth simulation but the abstract "
+            "interpreter proved it dead",
+            location=where[gid],
+        )
+    if truth_report_states is not None:
+        reported = sorted({int(gid) for gid in truth_report_states})
+        for gid in reported:
+            if not 0 <= gid < n:
+                continue
+            if dead[gid] or never[gid]:
+                verdict = "statically dead" if dead[gid] else "never-reporting"
+                report.emit(
+                    "SPAP-S002",
+                    f"truth simulation reported from a state proven {verdict}",
+                    location=where[gid],
+                )
+
+    # -- waste: sound but pays for STEs that can do no observable work -------
+    for gid in np.flatnonzero(profiled & dead):
+        report.emit(
+            "SPAP-S003",
+            "profiled layer closure keeps a provably-dead state hot",
+            location=where[gid],
+        )
+    for gid in np.flatnonzero(facts.semantically_blocked):
+        report.emit(
+            "SPAP-S004",
+            "state is graph-reachable but every enabling path crosses an "
+            "empty-symbol-set hand-off",
+            location=where[gid],
+        )
+    for gid in np.flatnonzero(profiled & never):
+        report.emit(
+            "SPAP-S005",
+            "never-reporting state occupies a hot STE",
+            location=where[gid],
+        )
+
+    # -- drift: one aggregate line, not one per state ------------------------
+    disagree = int(np.sum(profiled != static))
+    if disagree:
+        static_only = int(np.sum(static & ~profiled))
+        profiled_only = int(np.sum(profiled & ~static))
+        report.emit(
+            "SPAP-S006",
+            f"static and profiled predictions disagree on {disagree}/{n} "
+            f"states ({static_only} static-only hot, {profiled_only} "
+            "profiled-only hot)",
+            location=network.name or "network",
+        )
+    return report
+
+
+def agreement_fraction(left: np.ndarray, right: np.ndarray) -> float:
+    """Fraction of states on which two boolean masks agree (1.0 if empty)."""
+    a = np.asarray(left, dtype=bool)
+    b = np.asarray(right, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 1.0
+    return float(np.mean(a == b))

@@ -1,0 +1,160 @@
+"""Profile-free static hot/cold prediction.
+
+The dynamic predictor (paper §IV-A, ``core.profiling``) marks hot every
+state enabled while simulating a profiling prefix.  This module predicts
+the same thing without running any input, from two static quantities:
+
+* the normalized topological depth of each state (the paper's §III-A
+  observation: coldness tracks depth), and
+* the symbol-set selectivity along the best enabling path, taken from the
+  abstract interpreter's reachability facts (:mod:`repro.semant.absint`).
+
+For a state ``v`` we compute ``log2_weight(v)``: the best-case (maximum
+over paths) log2-probability that a uniformly random symbol stream walks
+some start-to-``v`` path, i.e. ``max over paths of sum(log2(|S(u)|/256))``
+over the proper ancestors ``u`` of ``v``.  A path launches wherever its
+start state is enabled — every position for ``ALL_INPUT`` starts, only
+position 0 for ``START_OF_DATA`` — so over a ``horizon``-symbol input the
+expected number of enabling opportunities is about
+``horizon * 2**log2_weight`` (``1 * 2**log2_weight`` when anchored), the
+same model the workload registry inverts to size its symbol classes.  A
+state is predicted hot when that expectation reaches 1.
+
+The raw prediction is then *layer-closed* exactly like the profiled one:
+per-NFA partition layers ``k_U`` via
+:func:`~repro.core.profiling.choose_partition_layers` and the closed mask
+via :func:`~repro.core.profiling.layer_closure_mask`, so the result has the
+same shape as a :class:`~repro.core.profiling.ProfileResult` mask and
+``core.partition.partition_network`` consumes it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.profiling import choose_partition_layers, layer_closure_mask
+from ..nfa.analysis import NetworkTopology, Topology, analyze_network
+from ..nfa.automaton import Automaton, Network, StartKind
+from .absint import SemanticFacts, analyze_network_semantics
+
+__all__ = ["DEFAULT_HORIZON", "StaticPrediction", "log2_path_weights", "predict_hot_cold"]
+
+#: Nominal input length assumed when the caller supplies none: the
+#: registry's NOMINAL_INPUT, i.e. the scale the synthetic workloads target.
+DEFAULT_HORIZON = 4096
+
+_LOG2_ALPHABET = 8.0  # log2(256)
+_GAIN_EPSILON = 1e-12  # minimum strict improvement worth re-propagating
+
+
+@dataclass
+class StaticPrediction:
+    """Outcome of the profile-free predictor (mirrors ``ProfileResult``).
+
+    ``hot_mask`` is the raw per-state verdict; ``layers[u]`` the derived
+    partition layer ``k_U`` for automaton ``u``; ``predicted_hot_mask`` the
+    layer-closed mask actually comparable to (and consumable by) everything
+    that takes a profiled prediction.
+    """
+
+    hot_mask: np.ndarray  # bool per global state: raw static prediction
+    layers: np.ndarray  # int per automaton: k_U
+    predicted_hot_mask: np.ndarray  # bool: topo_order <= k_U (layer closure)
+    log2_weight: np.ndarray  # float per global state: best-path log2 probability
+    horizon: int
+
+    @property
+    def n_predicted_hot(self) -> int:
+        return int(self.predicted_hot_mask.sum())
+
+
+def log2_path_weights(automaton: Automaton, topology: Topology) -> np.ndarray:
+    """Best-path log2 enabling probability per state (``-inf`` if dead).
+
+    Maximum over start-to-state paths of the sum of ``log2(|S(u)|/256)``
+    over proper ancestors, propagated along the SCC condensation sources
+    first with an intra-component fixpoint (a cycle only ever lowers a
+    path's weight, so the maximum is reached without looping and the
+    fixpoint terminates).
+    """
+    n = automaton.n_states
+    weight = np.full(n, -np.inf)
+    for state in automaton.states():
+        if state.is_start:
+            weight[state.sid] = 0.0
+
+    scc = topology.scc_id
+    members: List[List[int]] = [[] for _ in range(topology.n_sccs)]
+    for sid in range(n):
+        members[int(scc[sid])].append(sid)
+
+    for component in range(topology.n_sccs - 1, -1, -1):
+        work = [sid for sid in members[component] if weight[sid] > -np.inf]
+        while work:
+            u = work.pop()
+            size = len(automaton.state(u).symbol_set)
+            if size == 0:
+                continue  # u never activates; hands no probability onward
+            candidate = weight[u] + (math.log2(size) - _LOG2_ALPHABET)
+            for v in automaton.successors(u):
+                if candidate > weight[v] + _GAIN_EPSILON:
+                    weight[v] = candidate
+                    if int(scc[v]) == component:
+                        work.append(v)
+    return weight
+
+
+def _automaton_horizon(automaton: Automaton, horizon: int) -> int:
+    """Enabling opportunities for this NFA's paths over a ``horizon`` input.
+
+    An anchored NFA (every start ``START_OF_DATA``) launches exactly once,
+    at position 0; any ``ALL_INPUT`` start launches at every position.
+    """
+    starts = [automaton.state(sid).start for sid in automaton.start_states()]
+    if starts and all(kind is StartKind.START_OF_DATA for kind in starts):
+        return 1
+    return max(1, horizon)
+
+
+def predict_hot_cold(
+    network: Network,
+    facts: Optional[SemanticFacts] = None,
+    topology: Optional[NetworkTopology] = None,
+    *,
+    horizon: int = DEFAULT_HORIZON,
+) -> StaticPrediction:
+    """Predict the hot/cold split of a network with no profiling input."""
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    if topology is None:
+        topology = analyze_network(network)
+    if facts is None:
+        facts = analyze_network_semantics(network, topology)
+
+    n = network.n_states
+    weights = np.full(n, -np.inf)
+    raw_hot = np.zeros(n, dtype=bool)
+    offsets = network.offsets()
+    for index, automaton in enumerate(network.automata):
+        base = offsets[index]
+        local = log2_path_weights(automaton, topology.per_automaton[index])
+        weights[base : base + automaton.n_states] = local
+        budget = math.log2(_automaton_horizon(automaton, horizon))
+        raw_hot[base : base + automaton.n_states] = local + budget >= 0.0
+
+    # A proven-dead state is never predicted hot, whatever its depth.
+    raw_hot &= facts.enableable
+
+    layers = choose_partition_layers(network, topology, raw_hot)
+    predicted = layer_closure_mask(network, topology, layers)
+    return StaticPrediction(
+        hot_mask=raw_hot,
+        layers=layers,
+        predicted_hot_mask=predicted,
+        log2_weight=weights,
+        horizon=horizon,
+    )

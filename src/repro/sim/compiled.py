@@ -19,7 +19,7 @@ import numpy as np
 
 from .. import bitops
 from ..nfa.automaton import Network, StartKind
-from ..nfa.symbolset import ALPHABET_SIZE
+from ..nfa.symbolset import ALPHABET_SIZE, SymbolSet
 
 __all__ = ["CompiledNetwork", "compile_network", "gather_csr", "SUCC_MASK_BUDGET"]
 
@@ -118,7 +118,7 @@ def compile_network(network: Network) -> CompiledNetwork:
     # caching the per-symbol-set column since workloads reuse few distinct
     # symbol-sets across thousands of states.
     accept_bool = np.zeros((ALPHABET_SIZE, n), dtype=bool)
-    column_cache: Dict[int, np.ndarray] = {}
+    column_cache: Dict[SymbolSet, np.ndarray] = {}
     start_all_ids: List[int] = []
     start_sod_ids: List[int] = []
     report_ids: List[int] = []
@@ -126,11 +126,10 @@ def compile_network(network: Network) -> CompiledNetwork:
     report_codes: List[Optional[str]] = [None] * n
 
     for gid, _a_index, state in network.global_states():
-        mask = state.symbol_set.mask
-        column = column_cache.get(mask)
+        column = column_cache.get(state.symbol_set)
         if column is None:
             column = state.symbol_set.to_bool_array()
-            column_cache[mask] = column
+            column_cache[state.symbol_set] = column
         accept_bool[:, gid] = column
         if state.start is StartKind.ALL_INPUT:
             start_all_ids.append(gid)

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..core.metrics import prediction_quality
-from ..core.profiling import choose_partition_layers, layer_closure_mask
 from .record import RunStats
 
 if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
@@ -55,13 +54,19 @@ def collect_run_stats(
     # Table I prediction quality: the layer-closed predicted-hot mask from
     # the profiling run against the ground-truth hot mask on the test input.
     with run.stats.stage("prediction"):
-        hot_mask = run.profile(fraction).hot_mask()
-        layers = choose_partition_layers(run.network, run.topology, hot_mask)
-        predicted = layer_closure_mask(run.network, run.topology, layers)
+        predicted = run.predicted_hot_mask(fraction)
         truth_mask = run.truth.hot_mask()
         quality = prediction_quality(predicted, truth_mask)
     n_states = run.network.n_states
     predicted_fraction = float(predicted.sum()) / n_states if n_states else 0.0
+
+    # Profile-free counterpart (repro.semant): the same layer-closed mask
+    # shape, predicted from depth and symbol-set selectivity alone, plus the
+    # abstract interpreter's dead/never-reporting proofs.
+    facts = run.semantics
+    static = run.static_prediction()
+    static_quality = prediction_quality(static.predicted_hot_mask, truth_mask)
+    static_fraction = static.n_predicted_hot / n_states if n_states else 0.0
 
     return RunStats(
         app=run.spec.abbr,
@@ -93,6 +98,12 @@ def collect_run_stats(
         prediction_accuracy=quality.accuracy,
         prediction_precision=quality.precision,
         prediction_recall=quality.recall,
+        n_statically_dead=facts.n_statically_dead,
+        n_never_reporting=facts.n_never_reporting,
+        static_hot_fraction=static_fraction,
+        static_accuracy=static_quality.accuracy,
+        static_precision=static_quality.precision,
+        static_recall=static_quality.recall,
         spap_speedup=run.spap_speedup(fraction, ap),
         ap_cpu_speedup=run.ap_cpu_speedup(fraction, ap),
         resource_saving=run.resource_saving(fraction, ap),

@@ -11,6 +11,8 @@ evaluation (§VI) is built from, previously scattered across
 * intermediate-report counts, queue refills, and device-memory traffic
   (§V-B's 128-entry on-chip queue);
 * hot fraction and hot/cold prediction quality (Fig 1, Table I);
+* the profile-free static prediction and dead/never-reporting proofs
+  (``repro.semant``), reported beside the profiled predictor;
 * the speedup/resource-saving summary metrics (Fig 10);
 * per-stage wall-time spans from the pipeline's :class:`StageTimer`.
 
@@ -68,6 +70,13 @@ class RunStats:
     prediction_accuracy: float
     prediction_precision: float
     prediction_recall: float
+    # static semantic analysis (repro.semant)
+    n_statically_dead: int
+    n_never_reporting: int
+    static_hot_fraction: float
+    static_accuracy: float
+    static_precision: float
+    static_recall: float
     # summary metrics
     spap_speedup: float
     ap_cpu_speedup: float
@@ -120,6 +129,14 @@ class RunStats:
                 "precision": self.prediction_precision,
                 "recall": self.prediction_recall,
             },
+            "semant": {
+                "n_statically_dead": self.n_statically_dead,
+                "n_never_reporting": self.n_never_reporting,
+                "static_hot_fraction": self.static_hot_fraction,
+                "accuracy": self.static_accuracy,
+                "precision": self.static_precision,
+                "recall": self.static_recall,
+            },
             "speedups": {
                 "spap": self.spap_speedup,
                 "ap_cpu": self.ap_cpu_speedup,
@@ -154,6 +171,12 @@ def render_stats(stats: RunStats) -> str:
         f"acc {stats.prediction_accuracy:.3f}, "
         f"prec {stats.prediction_precision:.3f}, "
         f"recall {stats.prediction_recall:.3f}",
+        f"  semant      : {stats.n_statically_dead} proven dead, "
+        f"{stats.n_never_reporting} never-reporting; "
+        f"static hot {100 * stats.static_hot_fraction:.1f}% predicted; "
+        f"acc {stats.static_accuracy:.3f}, "
+        f"prec {stats.static_precision:.3f}, "
+        f"recall {stats.static_recall:.3f}",
         f"  speedups    : SpAP {stats.spap_speedup:.2f}x, "
         f"AP-CPU {stats.ap_cpu_speedup:.2f}x, "
         f"resources saved {100 * stats.resource_saving:.1f}%",

@@ -22,7 +22,8 @@ __all__ = [
 ]
 
 #: Bump on any backwards-incompatible change to the exported document shape.
-SCHEMA_VERSION = 1
+#: v2: added the ``semant`` section (static prediction + dead-state proofs).
+SCHEMA_VERSION = 2
 
 #: One StageTimer span as exported (shared by RunStats and the bench harness).
 SPAN_SCHEMA = {"name": "str", "calls": "int", "seconds": "number"}
@@ -69,6 +70,14 @@ STATS_SCHEMA = {
     "prediction": {
         "hot_fraction": "number",
         "predicted_hot_fraction": "number",
+        "accuracy": "number",
+        "precision": "number",
+        "recall": "number",
+    },
+    "semant": {
+        "n_statically_dead": "int",
+        "n_never_reporting": "int",
+        "static_hot_fraction": "number",
         "accuracy": "number",
         "precision": "number",
         "recall": "number",

@@ -7,7 +7,8 @@ one subject (a network, a partition, a batch plan, or a whole application).
 
 Rule codes are stable identifiers of the form ``SPAP-<pass><number>``
 (``N`` = network lint, ``P`` = partition checker, ``B`` = batch-plan
-checker).  The :data:`RULES` registry is the single source of truth for
+checker, ``S`` = semantic differential checker, emitted by
+``repro.semant``).  The :data:`RULES` registry is the single source of truth for
 their titles, default severities, fix hints, and the paper section each one
 enforces; DESIGN.md appendix B is generated from the same data.
 """
@@ -258,6 +259,61 @@ RULES: Dict[str, Rule] = _rules(
         "§V-A",
         "rewriting a batch-local report id through global_ids must land on "
         "the same state in the parent network; check slice construction",
+    ),
+    # -- semantic differential checker (repro.semant.differential) ------------
+    Rule(
+        "SPAP-S001",
+        "truth-enabled state proven statically dead",
+        Severity.ERROR,
+        "§III-A",
+        "the abstract interpreter's dead verdict is supposed to be a proof; "
+        "a simulation enabling the state means the analysis (or the engine) "
+        "is unsound — file a bug against repro.semant.absint",
+    ),
+    Rule(
+        "SPAP-S002",
+        "observed report from a state proven never-reporting",
+        Severity.ERROR,
+        "§II-A",
+        "the backward observability pass claimed no report could ever be "
+        "attributed to this state, yet the truth simulation produced one; "
+        "the analysis (or the engine) is unsound",
+    ),
+    Rule(
+        "SPAP-S003",
+        "statically-dead state predicted hot by the profiler",
+        Severity.WARNING,
+        "§IV-A",
+        "the layer-closed profiled prediction keeps a provably-dead state in "
+        "the hot partition; it wastes an STE every batch — consider pruning "
+        "dead states before partitioning",
+    ),
+    Rule(
+        "SPAP-S004",
+        "semantically dead though graph-reachable",
+        Severity.WARNING,
+        "§III-A",
+        "every enabling path crosses an empty-symbol-set hand-off, so the "
+        "state is dead even though plain reachability (SPAP-N004) calls it "
+        "live; fix the symbol-set construction or drop the state",
+    ),
+    Rule(
+        "SPAP-S005",
+        "never-reporting state predicted hot",
+        Severity.WARNING,
+        "§III-A",
+        "the state occupies a hot STE but no activation path from it reaches "
+        "a reporting state, so its work is unobservable; remove it or mark "
+        "the intended reporter",
+    ),
+    Rule(
+        "SPAP-S006",
+        "static and profiled hot/cold predictions disagree",
+        Severity.INFO,
+        "§IV-A",
+        "informational: the profile-free predictor and the profiling run "
+        "classify these states differently; large disagreement means the "
+        "profiling prefix is unrepresentative or the depth model is off",
     ),
 )
 

@@ -156,6 +156,23 @@ class TestNetworkTopology:
         assert topology.max_topo == 0
         assert topology.topo_order.size == 0
 
+    def test_empty_automaton_normalized_depth(self):
+        """max_order == 0 must yield an empty array, not a 0/0 division
+        (regression: this used to emit a numpy invalid-value warning)."""
+        topology = analyze_automaton(Automaton("empty"))
+        assert topology.max_order == 0
+        with np.errstate(invalid="raise", divide="raise"):
+            depths = topology.normalized_depth
+        assert depths.shape == (0,)
+        assert depths.dtype == float
+
+    def test_empty_network_normalized_depth(self):
+        network = Network("n")
+        network.add(Automaton("empty"))
+        topology = analyze_network(network)
+        with np.errstate(invalid="raise", divide="raise"):
+            assert topology.normalized_depth.shape == (0,)
+
 
 class TestDepthBuckets:
     def test_buckets_partition(self):

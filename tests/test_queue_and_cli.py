@@ -113,3 +113,59 @@ class TestCLI:
     def test_no_command_errors(self):
         result = _cli()
         assert result.returncode != 0
+
+    def test_semant_app(self):
+        result = _cli("semant", "Bro217")
+        assert result.returncode == 0
+        assert "proven dead" in result.stdout
+
+    def test_semant_unknown(self):
+        result = _cli("semant", "nope")
+        assert result.returncode == 2
+
+
+class TestVerifyExitCodes:
+    """The documented contract, asserted in-process with a stubbed verifier:
+    warnings exit 0, any ERROR-severity finding exits 1, unknown apps exit 2
+    (for both ``verify`` and ``semant``)."""
+
+    @staticmethod
+    def _stub_report(code=None):
+        from repro.verify.diagnostics import VerificationReport
+
+        report = VerificationReport(subject="stub")
+        if code is not None:
+            report.emit(code, "synthetic finding", location="stub")
+        return report
+
+    def _run_verify(self, monkeypatch, code):
+        import repro.verify.app as verify_app_module
+        from repro.__main__ import main
+
+        report = self._stub_report(code)
+        monkeypatch.setattr(
+            verify_app_module, "verify_app", lambda *a, **k: report
+        )
+        return main(["verify", "Bro217"])
+
+    def test_clean_exits_zero(self, monkeypatch, capsys):
+        assert self._run_verify(monkeypatch, None) == 0
+
+    def test_warnings_exit_zero(self, monkeypatch, capsys):
+        # SPAP-N004 is WARNING severity: findings, but not failures.
+        assert self._run_verify(monkeypatch, "SPAP-N004") == 0
+
+    def test_errors_exit_one(self, monkeypatch, capsys):
+        assert self._run_verify(monkeypatch, "SPAP-S001") == 1
+
+    def test_unknown_app_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["verify", "nope"]) == 2
+        assert main(["semant", "nope"]) == 2
+
+    def test_no_apps_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["verify"]) == 2
+        assert main(["semant"]) == 2

@@ -1,0 +1,336 @@
+"""Tests for repro.semant: dead-state prover, static predictor, differential.
+
+The abstract interpreter's verdicts are one-sided proofs (DESIGN.md §10):
+"dead" must never be contradicted by any simulation, which is what the
+randomized soundness properties and the full-registry gate at the bottom
+check.  The fixtures at the top pin the intended semantics of each verdict
+on hand-built automata.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.partition import partition_network
+from repro.experiments.config import ExperimentConfig
+from repro.nfa.automaton import Automaton, Network, StartKind
+from repro.nfa.build import literal_chain
+from repro.nfa.symbolset import SymbolSet
+from repro.semant.absint import (
+    analyze_automaton_semantics,
+    analyze_network_semantics,
+)
+from repro.semant.app import semant_app
+from repro.semant.differential import agreement_fraction, differential_report
+from repro.semant.predict import predict_hot_cold
+from repro.sim.reference import reference_run
+from repro.workloads.registry import app_names
+
+from helpers import random_input, random_network, seeds
+
+
+def _blockade() -> Automaton:
+    """start('a') -> empty-set state -> reporter: the reporter is provably
+    dead (its only enabling path crosses a state that can never activate)."""
+    automaton = Automaton("blockade")
+    s0 = automaton.add_state(SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT)
+    s1 = automaton.add_state(SymbolSet.empty())
+    s2 = automaton.add_state(
+        SymbolSet.from_symbols("c"), reporting=True, report_code="r"
+    )
+    automaton.add_edge(s0, s1)
+    automaton.add_edge(s1, s2)
+    return automaton
+
+
+class TestAbstractInterpreter:
+    def test_empty_handoff_blockade(self):
+        facts = analyze_automaton_semantics(_blockade())
+        # The empty-set state is *enableable* (its predecessor activates on
+        # 'a') but can never activate, so everything behind it is dead.
+        assert not facts.statically_dead[0]
+        assert not facts.statically_dead[1]
+        assert not facts.activatable[1]
+        assert facts.statically_dead[2]
+        # Pure graph reachability would call the reporter live: that gap is
+        # exactly the semantically-blocked verdict (SPAP-S004 vs SPAP-N004).
+        assert facts.graph_reachable[2]
+        assert facts.semantically_blocked[2]
+
+    def test_unreachable_state_dead_but_not_blocked(self):
+        automaton = Automaton("orphan")
+        automaton.add_state(SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT)
+        orphan = automaton.add_state(SymbolSet.from_symbols("b"))
+        facts = analyze_automaton_semantics(automaton)
+        assert facts.statically_dead[orphan]
+        assert not facts.graph_reachable[orphan]
+        assert not facts.semantically_blocked[orphan]
+
+    def test_start_states_always_enableable(self):
+        automaton = Automaton("starts")
+        automaton.add_state(SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT)
+        automaton.add_state(
+            SymbolSet.from_symbols("b"), start=StartKind.START_OF_DATA
+        )
+        facts = analyze_automaton_semantics(automaton)
+        assert facts.enableable.all()
+
+    def test_never_reporting_branch(self):
+        automaton = Automaton("silent")
+        s0 = automaton.add_state(
+            SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT
+        )
+        dead_end = automaton.add_state(SymbolSet.from_symbols("b"))
+        reporter = automaton.add_state(
+            SymbolSet.from_symbols("c"), reporting=True, report_code="r"
+        )
+        automaton.add_edge(s0, dead_end)
+        automaton.add_edge(s0, reporter)
+        facts = analyze_automaton_semantics(automaton)
+        assert facts.never_reporting[dead_end]
+        # s0 feeds the reporter, the reporter fires: both are observable.
+        assert facts.can_report[s0]
+        assert facts.can_report[reporter]
+        assert not facts.never_reporting[s0]
+
+    def test_empty_set_reporter_cannot_fire(self):
+        """A reporting state with an empty symbol-set never activates, so it
+        never fires — it must not seed the backward pass."""
+        automaton = Automaton("mute")
+        s0 = automaton.add_state(
+            SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT
+        )
+        mute = automaton.add_state(SymbolSet.empty(), reporting=True)
+        automaton.add_edge(s0, mute)
+        facts = analyze_automaton_semantics(automaton)
+        assert not facts.can_report[s0]
+        assert facts.never_reporting[s0]
+
+    def test_cycle_fixpoint(self):
+        automaton = Automaton("cycle")
+        s0 = automaton.add_state(
+            SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT
+        )
+        s1 = automaton.add_state(SymbolSet.from_symbols("b"))
+        s2 = automaton.add_state(
+            SymbolSet.from_symbols("c"), reporting=True, report_code="r"
+        )
+        automaton.add_edge(s0, s1)
+        automaton.add_edge(s1, s2)
+        automaton.add_edge(s2, s1)  # back edge: {s1, s2} form an SCC
+        facts = analyze_automaton_semantics(automaton)
+        assert facts.enableable.all()
+        assert facts.can_report.all()
+        # The cycle feeds 'b' and 'c' into s1's inflow, plus 'a' from s0.
+        assert set(facts.inflow[s1].symbols()) == {ord("a"), ord("c")}
+
+    def test_network_concatenation(self):
+        network = Network("pair")
+        network.add(_blockade())
+        network.add(literal_chain(b"xy", name="chain"))
+        facts = analyze_network_semantics(network)
+        assert facts.enableable.shape == (network.n_states,)
+        assert facts.n_statically_dead == 1
+        assert len(facts.per_automaton) == 2
+
+    def test_empty_network(self):
+        facts = analyze_network_semantics(Network("empty"))
+        assert facts.enableable.shape == (0,)
+        assert facts.n_statically_dead == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_soundness_on_random_networks(self, seed):
+        """No simulation may contradict a proof: truth-enabled => not dead,
+        observed report => can_report."""
+        rng = random.Random(seed)
+        network = random_network(rng)
+        facts = analyze_network_semantics(network)
+        data = random_input(rng, rng.randint(0, 40))
+        result = reference_run(network, data)
+        truth = result.hot_mask()
+        assert not np.any(truth & facts.statically_dead)
+        for gid in result.reports[:, 1]:
+            assert not facts.statically_dead[gid]
+            assert facts.can_report[gid]
+
+
+class TestStaticPredictor:
+    def test_shapes_and_types(self):
+        network = Network("n")
+        network.add(literal_chain(b"abc"))
+        prediction = predict_hot_cold(network, horizon=1024)
+        n = network.n_states
+        assert prediction.hot_mask.shape == (n,)
+        assert prediction.predicted_hot_mask.shape == (n,)
+        assert prediction.hot_mask.dtype == bool
+        assert prediction.layers.shape == (network.n_automata,)
+        assert prediction.horizon == 1024
+
+    def test_dead_states_never_raw_hot(self):
+        network = Network("n")
+        network.add(_blockade())
+        prediction = predict_hot_cold(network, horizon=1 << 30)
+        facts = analyze_network_semantics(network)
+        assert not np.any(prediction.hot_mask & facts.statically_dead)
+
+    def test_horizon_monotone(self):
+        rng = random.Random(7)
+        network = random_network(rng)
+        small = predict_hot_cold(network, horizon=16)
+        large = predict_hot_cold(network, horizon=1 << 20)
+        # More enabling opportunities can only add hot states.
+        assert np.all(large.hot_mask | ~small.hot_mask)
+
+    def test_anchored_automata_launch_once(self):
+        """A fully START_OF_DATA network gets a one-shot budget: a deep
+        selective chain stays cold no matter the nominal horizon."""
+        network = Network("n")
+        network.add(
+            literal_chain(b"abcdefgh", name="anchored", start=StartKind.START_OF_DATA)
+        )
+        prediction = predict_hot_cold(network, horizon=1 << 40)
+        # Only the start itself has log2 weight 0 (expectation exactly 1).
+        assert prediction.hot_mask[0]
+        assert not prediction.hot_mask[1:].any()
+
+    def test_partitioner_consumes_layers(self):
+        rng = random.Random(3)
+        network = random_network(rng)
+        prediction = predict_hot_cold(network)
+        partitioned = partition_network(network, prediction.layers)
+        partitioned.validate()
+        assert partitioned.n_hot_original + partitioned.n_cold == network.n_states
+
+    def test_bad_horizon_rejected(self):
+        network = Network("n")
+        network.add(literal_chain(b"ab"))
+        with pytest.raises(ValueError):
+            predict_hot_cold(network, horizon=0)
+
+
+class TestDifferential:
+    def _fixture(self):
+        network = Network("net")
+        network.add(_blockade())
+        facts = analyze_network_semantics(network)
+        zeros = np.zeros(network.n_states, dtype=bool)
+        return network, facts, zeros
+
+    def test_clean_report(self):
+        network, facts, zeros = self._fixture()
+        report = differential_report(
+            network, facts, profiled_hot=zeros, static_hot=zeros, truth_hot=zeros
+        )
+        assert report.ok
+        assert "SPAP-S001" not in report.codes()
+
+    def test_s001_truth_contradicts_proof(self):
+        network, facts, zeros = self._fixture()
+        truth = zeros.copy()
+        truth[2] = True  # the provably-dead reporter
+        report = differential_report(
+            network, facts, profiled_hot=zeros, static_hot=zeros, truth_hot=truth
+        )
+        assert not report.ok
+        assert "SPAP-S001" in [d.code for d in report.errors]
+
+    def test_s002_report_from_dead_state(self):
+        network, facts, zeros = self._fixture()
+        report = differential_report(
+            network,
+            facts,
+            profiled_hot=zeros,
+            static_hot=zeros,
+            truth_hot=zeros,
+            truth_report_states=[2],
+        )
+        assert not report.ok
+        assert "SPAP-S002" in [d.code for d in report.errors]
+
+    def test_s003_profiler_keeps_dead_state_hot(self):
+        network, facts, zeros = self._fixture()
+        profiled = zeros.copy()
+        profiled[2] = True
+        report = differential_report(
+            network, facts, profiled_hot=profiled, static_hot=profiled,
+            truth_hot=zeros,
+        )
+        assert report.ok  # waste is a warning, not an error
+        assert "SPAP-S003" in [d.code for d in report.warnings]
+
+    def test_s004_semantically_blocked(self):
+        network, facts, zeros = self._fixture()
+        report = differential_report(
+            network, facts, profiled_hot=zeros, static_hot=zeros, truth_hot=zeros
+        )
+        assert "SPAP-S004" in [d.code for d in report.warnings]
+
+    def test_s005_never_reporting_hot(self):
+        automaton = Automaton("silent")
+        s0 = automaton.add_state(
+            SymbolSet.from_symbols("a"), start=StartKind.ALL_INPUT
+        )
+        automaton.add_state(SymbolSet.from_symbols("b"))
+        automaton.add_edge(s0, 1)
+        network = Network("net")
+        network.add(automaton)
+        facts = analyze_network_semantics(network)
+        hot = np.ones(2, dtype=bool)
+        report = differential_report(
+            network, facts, profiled_hot=hot, static_hot=hot,
+            truth_hot=np.zeros(2, dtype=bool),
+        )
+        assert "SPAP-S005" in [d.code for d in report.warnings]
+
+    def test_s006_drift_aggregate(self):
+        network, facts, zeros = self._fixture()
+        static = zeros.copy()
+        static[0] = True
+        report = differential_report(
+            network, facts, profiled_hot=zeros, static_hot=static, truth_hot=zeros
+        )
+        drift = report.by_code("SPAP-S006")
+        assert len(drift) == 1  # one aggregate line, not one per state
+        assert "1/3" in drift[0].message
+
+    def test_shape_mismatch_rejected(self):
+        network, facts, zeros = self._fixture()
+        with pytest.raises(ValueError):
+            differential_report(
+                network, facts, profiled_hot=zeros[:-1], static_hot=zeros,
+                truth_hot=zeros,
+            )
+
+    def test_agreement_fraction(self):
+        a = np.array([True, False, True])
+        b = np.array([True, True, True])
+        assert agreement_fraction(a, b) == pytest.approx(2 / 3)
+        assert agreement_fraction(np.zeros(0, bool), np.zeros(0, bool)) == 1.0
+        with pytest.raises(ValueError):
+            agreement_fraction(a, b[:-1])
+
+
+class TestSemantApp:
+    _CONFIG = ExperimentConfig(scale=64, input_len=512)
+
+    def test_outcome_shape(self):
+        outcome = semant_app("Bro217", self._CONFIG)
+        assert outcome.summary.app == "Bro217"
+        assert outcome.summary.n_states > 0
+        payload = outcome.to_json()
+        assert set(payload) == {"summary", "report"}
+        assert 0.0 <= payload["summary"]["static_accuracy"] <= 1.0
+        assert "proven dead" in outcome.summary.render()
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            semant_app("NotAnApp", self._CONFIG)
+
+    @pytest.mark.parametrize("abbr", app_names())
+    def test_soundness_gate(self, abbr):
+        """The CI gate: no SPAP-S hard error on any registry application."""
+        outcome = semant_app(abbr, self._CONFIG)
+        assert outcome.ok, outcome.report.render_text(verbose=True)

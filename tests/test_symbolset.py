@@ -76,6 +76,14 @@ class TestAlgebra:
         assert SymbolSet.from_symbols("ab") == SymbolSet.from_symbols("ba")
         assert hash(SymbolSet.from_symbols("ab")) == hash(SymbolSet.from_symbols("ba"))
 
+    def test_is_disjoint(self):
+        a = SymbolSet.from_symbols("abc")
+        assert a.is_disjoint(SymbolSet.from_symbols("xyz"))
+        assert not a.is_disjoint(SymbolSet.from_symbols("cde"))
+        assert a.is_disjoint(SymbolSet.empty())
+        assert SymbolSet.empty().is_disjoint(SymbolSet.empty())
+        assert not a.is_disjoint(SymbolSet.universal())
+
 
 class TestConversion:
     def test_bool_array(self):
@@ -115,6 +123,7 @@ def test_algebra_matches_python_sets(left, right):
     assert set((a & b).symbols()) == sl & sr
     assert set((a - b).symbols()) == sl - sr
     assert set((~a).symbols()) == set(range(256)) - sl
+    assert a.is_disjoint(b) == sl.isdisjoint(sr)
 
 
 @given(symbol_lists)
