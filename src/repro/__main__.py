@@ -19,6 +19,12 @@ Commands:
   (``repro.semant``): the abstract-interpretation dead-state prover, the
   profile-free hot/cold predictor, and the differential SPAP-S checks
   against the profiler and the simulation ground truth.
+* ``serve --apps A,B [--port N|--unix PATH]`` — the long-running match
+  service (``repro.serve``): framed requests in, micro-batched
+  multi-stream dispatches out.
+* ``loadgen --apps A,B [--port N|--unix PATH]`` — drive a running server
+  in open or closed loop, optionally sweeping concurrency, and report
+  throughput plus p50/p95/p99 latency.
 
 Application names accept the registry abbreviations plus paper-table
 aliases (``SNT`` for ``Snort``), case-insensitively.  Unknown application
@@ -291,6 +297,106 @@ def _cmd_semant(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.server import MatchServer, ServerOptions
+
+    apps: Optional[List[str]] = None
+    if args.apps:
+        apps = _resolve_apps(args.apps.split(","))
+        if apps is None:
+            return 2
+    options = ServerOptions(
+        host=args.host, port=args.port, unix_path=args.unix,
+        window_ms=args.window_ms, max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth, workers=args.workers,
+        max_apps=args.max_apps, warmup=not args.no_warmup,
+        allow_shutdown=not args.no_remote_shutdown,
+    )
+
+    async def _serve() -> None:
+        server = MatchServer(_config_for(args), options, apps=apps)
+        address = await server.start()
+        print(f"repro serve: listening on {address}", flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .serve.client import AsyncServeClient
+    from .serve.loadgen import LoadgenConfig, render_results, run_loadgen
+    from .stats import validate_serve_stats
+
+    apps = _resolve_apps(args.apps.split(","))
+    if apps is None:
+        return 2
+    if args.port is None and args.unix is None:
+        print("loadgen: need a target (--port or --unix)", file=sys.stderr)
+        return 2
+    try:
+        concurrencies = [int(part) for part in str(args.concurrency).split(",")]
+    except ValueError:
+        print(f"loadgen: bad --concurrency {args.concurrency!r} "
+              "(want N or N,M,...)", file=sys.stderr)
+        return 2
+
+    async def _drive():
+        rounds = []
+        for concurrency in concurrencies:
+            config = LoadgenConfig(
+                apps=apps, requests=args.requests, concurrency=concurrency,
+                mode=args.mode, rate=args.rate, input_len=args.input_len,
+                deadline_ms=args.deadline_ms, max_reports=args.max_reports,
+                seed=args.seed, host=args.host, port=args.port,
+                unix_path=args.unix, connect_timeout=args.connect_timeout,
+            )
+            rounds.append(await run_loadgen(config))
+        document = None
+        if args.stats_out or args.shutdown:
+            client = await AsyncServeClient.open(
+                host=args.host, port=args.port, unix_path=args.unix,
+                retry_for=args.connect_timeout,
+            )
+            try:
+                if args.stats_out:
+                    document = await client.stats()
+                if args.shutdown:
+                    await client.shutdown()
+            finally:
+                await client.close()
+        return rounds, document
+
+    try:
+        results, document = asyncio.run(_drive())
+    except ValueError as exc:  # LoadgenConfig validation
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps([result.to_json() for result in results], indent=2))
+    else:
+        print(render_results(results))
+    if args.stats_out:
+        validate_serve_stats(document)  # refuse to write an invalid export
+        with open(args.stats_out, "w") as handle:
+            _json.dump(document, handle, indent=2)
+        if not args.json:
+            print(f"wrote {args.stats_out}")
+    errors = sum(result.errors for result in results)
+    if errors and args.fail_on_error:
+        print(f"loadgen: {errors} request(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -379,6 +485,72 @@ def main(argv: Optional[list] = None) -> int:
                                help="enabling-opportunity horizon for the "
                                     "static predictor (default: input length)")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-running match service with micro-batching (repro.serve)",
+    )
+    serve_parser.add_argument("--apps", default=None,
+                              help="comma-separated applications to serve "
+                                   "(default: any registry app, on demand)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=None,
+                              help="TCP port (0 or omitted: ephemeral)")
+    serve_parser.add_argument("--unix", default=None, metavar="PATH",
+                              help="listen on a unix socket instead of TCP")
+    serve_parser.add_argument("--window-ms", type=float, default=2.0,
+                              help="micro-batch coalescing window (default 2ms)")
+    serve_parser.add_argument("--max-batch", type=int, default=64,
+                              help="largest batch per dispatch (default 64)")
+    serve_parser.add_argument("--max-queue-depth", type=int, default=1024,
+                              help="admission-control queue bound (default 1024)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="engine executor threads (default 2)")
+    serve_parser.add_argument("--max-apps", type=int, default=8,
+                              help="compiled networks kept resident (LRU)")
+    serve_parser.add_argument("--no-warmup", action="store_true",
+                              help="skip compiling --apps before binding")
+    serve_parser.add_argument("--no-remote-shutdown", action="store_true",
+                              help="reject shutdown frames from clients")
+    serve_parser.add_argument("--no-verify", action="store_true",
+                              help="skip fail-fast partition/batch verification")
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive a running match server and report latency percentiles",
+    )
+    loadgen_parser.add_argument("--apps", required=True,
+                                help="comma-separated applications to request")
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=None)
+    loadgen_parser.add_argument("--unix", default=None, metavar="PATH")
+    loadgen_parser.add_argument("--requests", type=int, default=64,
+                                help="requests per round (default 64)")
+    loadgen_parser.add_argument("--concurrency", default="8",
+                                help="workers, or a comma list to sweep "
+                                     "(e.g. 1,8,32; default 8)")
+    loadgen_parser.add_argument("--mode", choices=("closed", "open"),
+                                default="closed")
+    loadgen_parser.add_argument("--rate", type=float, default=None,
+                                help="open-loop arrivals per second")
+    loadgen_parser.add_argument("--input-len", type=int, default=1024,
+                                help="payload bytes per request (default 1024)")
+    loadgen_parser.add_argument("--deadline-ms", type=float, default=None,
+                                help="per-request deadline sent to the server")
+    loadgen_parser.add_argument("--max-reports", type=int, default=256,
+                                help="report cap per reply (default 256)")
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument("--connect-timeout", type=float, default=30.0,
+                                help="seconds to retry the first connect")
+    loadgen_parser.add_argument("--json", action="store_true",
+                                help="emit JSON rounds instead of the table")
+    loadgen_parser.add_argument("--stats-out", default=None, metavar="PATH",
+                                help="fetch the server stats document after "
+                                     "the run and write it here (validated)")
+    loadgen_parser.add_argument("--shutdown", action="store_true",
+                                help="send a shutdown frame after the run")
+    loadgen_parser.add_argument("--fail-on-error", action="store_true",
+                                help="exit 1 if any request failed")
+
     args = parser.parse_args(argv)
     handlers = {
         "list-apps": _cmd_list_apps,
@@ -389,6 +561,8 @@ def main(argv: Optional[list] = None) -> int:
         "stats": _cmd_stats,
         "verify": _cmd_verify,
         "semant": _cmd_semant,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -10,10 +10,19 @@ Each cache-miss computation runs under the run's :class:`StageTimer`
 (``repro.stats``), so any consumer can ask where the wall time of a
 pipeline went; cache hits are never re-timed.  ``REPRO_NO_STATS=1``
 disables recording entirely.
+
+The module cache and the lazy construction stages (build, topology,
+compile) are thread-safe: the match server (``repro.serve``) shares one
+pipeline across its executor workers, so :func:`get_run` guards the cache
+dict with a lock and :class:`AppRun` double-checks its construction
+stages under a per-run lock — concurrent first access computes each stage
+exactly once.  The simulation stages themselves remain single-threaded
+per run (the server serializes them per application).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -50,6 +59,9 @@ class AppRun:
         self.config = config
         #: Wall-time spans of every cache-miss stage (repro.stats).
         self.stats = StageTimer()
+        # Serializes the lazy construction stages when multiple threads
+        # share this run (re-entrant: `compiled` needs `network`).
+        self._lock = threading.RLock()
         self._network: Optional[Network] = None
         self._topology: Optional[NetworkTopology] = None
         self._semantics: Optional[SemanticFacts] = None
@@ -68,15 +80,20 @@ class AppRun:
     @property
     def network(self) -> Network:
         if self._network is None:
-            with self.stats.stage("build"):
-                self._network = self.spec.build(self.config.scale)
+            with self._lock:
+                if self._network is None:
+                    with self.stats.stage("build"):
+                        self._network = self.spec.build(self.config.scale)
         return self._network
 
     @property
     def topology(self) -> NetworkTopology:
         if self._topology is None:
-            with self.stats.stage("topology"):
-                self._topology = analyze_network(self.network)
+            with self._lock:
+                if self._topology is None:
+                    network = self.network
+                    with self.stats.stage("topology"):
+                        self._topology = analyze_network(network)
         return self._topology
 
     @property
@@ -102,17 +119,23 @@ class AppRun:
     @property
     def compiled(self) -> CompiledNetwork:
         if self._compiled is None:
-            with self.stats.stage("compile"):
-                self._compiled = compile_network(self.network)
+            with self._lock:
+                if self._compiled is None:
+                    network = self.network
+                    with self.stats.stage("compile"):
+                        self._compiled = compile_network(network)
         return self._compiled
 
     @property
     def entire_input(self) -> bytes:
         if self._entire_input is None:
-            with self.stats.stage("input"):
-                self._entire_input = self.spec.make_input(
-                    self.network, self.config.input_len
-                )
+            with self._lock:
+                if self._entire_input is None:
+                    network = self.network
+                    with self.stats.stage("input"):
+                        self._entire_input = self.spec.make_input(
+                            network, self.config.input_len
+                        )
         return self._entire_input
 
     @property
@@ -228,16 +251,28 @@ class AppRun:
 
 
 _CACHE: Dict[Tuple[str, int, int], AppRun] = {}
+_CACHE_LOCK = threading.Lock()
 
 
 def get_run(abbr: str, config: Optional[ExperimentConfig] = None) -> AppRun:
-    """The cached :class:`AppRun` for an application under a configuration."""
+    """The cached :class:`AppRun` for an application under a configuration.
+
+    Safe to call from multiple threads: concurrent first lookups of the
+    same key return the *same* run object (construction is cheap — every
+    expensive stage is lazy and guarded inside :class:`AppRun` itself).
+    """
     cfg = config or default_config()
     key = (abbr, cfg.scale, cfg.input_len)
-    if key not in _CACHE:
-        _CACHE[key] = AppRun(get_app(abbr), cfg)
-    return _CACHE[key]
+    run = _CACHE.get(key)
+    if run is None:
+        with _CACHE_LOCK:
+            run = _CACHE.get(key)
+            if run is None:
+                run = AppRun(get_app(abbr), cfg)
+                _CACHE[key] = run
+    return run
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()

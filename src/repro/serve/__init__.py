@@ -1,0 +1,69 @@
+"""Match-serving subsystem (`repro.serve`).
+
+The deployment face of the reproduction: a long-running asyncio match
+service that accepts framed requests over TCP or a unix socket, coalesces
+concurrent traffic into micro-batches, and executes each batch as one
+multi-stream lock-step dispatch (:func:`repro.sim.multistream.run_multi`)
+— so K in-flight requests cost one ``(K, n_words)`` bit-matrix pass
+instead of K scalar runs.
+
+Layers (DESIGN.md §11):
+
+* :mod:`repro.serve.protocol` — sans-IO framed wire protocol (JSON header
+  + raw payload, versioned, typed error frames, hard size bounds);
+* :mod:`repro.serve.state` — compiled-network LRU over the shared
+  ``AppRun`` pipeline cache, with startup warmup;
+* :mod:`repro.serve.batcher` — the micro-batching coalescer: window/size
+  dispatch, per-request deadlines, queue-depth admission control;
+* :mod:`repro.serve.server` — the asyncio server, per-request/per-batch
+  ``repro.stats`` spans, and the validated statistics export;
+* :mod:`repro.serve.client` — pipelined asyncio client;
+* :mod:`repro.serve.loadgen` — open/closed-loop load generator with
+  latency percentiles (``python -m repro loadgen``).
+
+Start a server with ``python -m repro serve --unix /tmp/repro.sock
+--apps Snort,LV`` and drive it with ``python -m repro loadgen``.
+"""
+
+from .batcher import BatchPolicy, BatchedResult, MicroBatcher
+from .client import AsyncServeClient, MatchOutcome, ServeRequestError, connect
+from .loadgen import LoadgenConfig, LoadgenResult, render_results, run_loadgen
+from .protocol import (
+    ErrorCode,
+    Frame,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    reply_frame,
+    request_frame,
+)
+from .server import MatchServer, ServerOptions, run_server
+from .state import AppEntry, ServeState
+
+__all__ = [
+    "AppEntry",
+    "AsyncServeClient",
+    "BatchPolicy",
+    "BatchedResult",
+    "ErrorCode",
+    "Frame",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "MatchOutcome",
+    "MatchServer",
+    "MicroBatcher",
+    "ProtocolError",
+    "ServeRequestError",
+    "ServeState",
+    "ServerOptions",
+    "connect",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "render_results",
+    "reply_frame",
+    "request_frame",
+    "run_loadgen",
+    "run_server",
+]

@@ -1,0 +1,232 @@
+"""Load generator for the match service: ``python -m repro loadgen``.
+
+Drives a running server in either of the two canonical load models:
+
+* **closed loop** — ``concurrency`` workers, each with its own connection,
+  each keeping exactly one request in flight (send, await, repeat).
+  Throughput is offered-load-limited by the service itself; this is the
+  model the serial-vs-batched benchmark uses (concurrency 1 is the serial
+  per-request baseline, concurrency K exercises the coalescer).
+* **open loop** — requests are fired at a fixed arrival ``rate`` regardless
+  of completions, round-robined over ``concurrency`` pipelined
+  connections.  Latency under an open loop includes queueing delay, which
+  is what a deployment actually observes when traffic does not slow down
+  just because the server did.
+
+Per-request latencies are aggregated into p50/p95/p99 plus request
+throughput; failures are counted by typed error code rather than aborting
+the run, so an overloaded or deadline-constrained sweep reports its
+rejection profile instead of dying on the first ``OVERLOADED`` frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .client import AsyncServeClient, ServeRequestError
+
+__all__ = ["LoadgenConfig", "LoadgenResult", "run_loadgen", "render_results"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation round against a running server."""
+
+    apps: List[str]
+    requests: int = 64
+    concurrency: int = 8
+    mode: str = "closed"  # "closed" | "open"
+    rate: Optional[float] = None  # open-loop arrivals per second
+    input_len: int = 1024
+    deadline_ms: Optional[float] = None
+    max_reports: int = 256
+    seed: int = 0
+    # connection target
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    unix_path: Optional[str] = None
+    connect_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("loadgen needs at least one application")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.mode == "open" and not self.rate:
+            raise ValueError("open-loop mode needs an arrival rate")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+
+
+@dataclass
+class LoadgenResult:
+    """Aggregated outcome of one round."""
+
+    config: LoadgenConfig
+    ok: int = 0
+    errors: int = 0
+    errors_by_code: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def to_json(self) -> dict:
+        return {
+            "apps": list(self.config.apps),
+            "mode": self.config.mode,
+            "requests": self.config.requests,
+            "concurrency": self.config.concurrency,
+            "rate": self.config.rate,
+            "input_len": self.config.input_len,
+            "ok": self.ok,
+            "errors": self.errors,
+            "errors_by_code": dict(sorted(self.errors_by_code.items())),
+            "elapsed_s": self.elapsed_s,
+            "rps": self.rps,
+            "latency_ms": {
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99),
+            },
+            "mean_batch": self.mean_batch(),
+        }
+
+
+def _payloads(config: LoadgenConfig) -> List[bytes]:
+    """Deterministic request payloads (uniform bytes, one per request)."""
+    rng = np.random.default_rng(config.seed)
+    distinct = min(config.requests, 64)  # bounded memory; cycled below
+    pool = [rng.integers(0, 256, size=config.input_len, dtype=np.uint8).tobytes()
+            for _ in range(distinct)]
+    return pool
+
+
+async def _open_client(config: LoadgenConfig) -> AsyncServeClient:
+    return await AsyncServeClient.open(
+        host=config.host, port=config.port, unix_path=config.unix_path,
+        retry_for=config.connect_timeout,
+    )
+
+
+def _record(result: LoadgenResult, outcome, error: Optional[ServeRequestError]) -> None:
+    if error is not None:
+        result.errors += 1
+        code = error.code
+        result.errors_by_code[code] = result.errors_by_code.get(code, 0) + 1
+    else:
+        result.ok += 1
+        result.latencies_ms.append(1e3 * outcome.latency_s)
+        result.batch_sizes.append(outcome.batch_size)
+
+
+async def _closed_loop(config: LoadgenConfig, payloads: List[bytes],
+                       result: LoadgenResult) -> None:
+    counter = {"next": 0}
+
+    async def worker() -> None:
+        client = await _open_client(config)
+        try:
+            while True:
+                index = counter["next"]
+                if index >= config.requests:
+                    return
+                counter["next"] = index + 1
+                app = config.apps[index % len(config.apps)]
+                payload = payloads[index % len(payloads)]
+                try:
+                    outcome = await client.match(
+                        app, payload, deadline_ms=config.deadline_ms,
+                        max_reports=config.max_reports,
+                    )
+                    _record(result, outcome, None)
+                except ServeRequestError as exc:
+                    _record(result, None, exc)
+        finally:
+            await client.close()
+
+    workers = [asyncio.ensure_future(worker())
+               for _ in range(config.concurrency)]
+    await asyncio.gather(*workers)
+
+
+async def _open_loop(config: LoadgenConfig, payloads: List[bytes],
+                     result: LoadgenResult) -> None:
+    assert config.rate
+    clients = [await _open_client(config) for _ in range(config.concurrency)]
+    interval = 1.0 / config.rate
+    tasks = []
+    try:
+        began = time.monotonic()
+        for index in range(config.requests):
+            target = began + index * interval
+            delay = target - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            client = clients[index % len(clients)]
+            app = config.apps[index % len(config.apps)]
+            payload = payloads[index % len(payloads)]
+
+            async def fire(client=client, app=app, payload=payload) -> None:
+                try:
+                    outcome = await client.match(
+                        app, payload, deadline_ms=config.deadline_ms,
+                        max_reports=config.max_reports,
+                    )
+                    _record(result, outcome, None)
+                except ServeRequestError as exc:
+                    _record(result, None, exc)
+
+            tasks.append(asyncio.ensure_future(fire()))
+        await asyncio.gather(*tasks)
+    finally:
+        for client in clients:
+            await client.close()
+
+
+async def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
+    """Run one round; never raises on per-request errors (they are counted)."""
+    payloads = _payloads(config)
+    result = LoadgenResult(config=config)
+    began = time.perf_counter()
+    if config.mode == "closed":
+        await _closed_loop(config, payloads, result)
+    else:
+        await _open_loop(config, payloads, result)
+    result.elapsed_s = time.perf_counter() - began
+    return result
+
+
+def render_results(results: List[LoadgenResult]) -> str:
+    """A fixed-width table over one or more rounds (the sweep view)."""
+    header = (f"{'conc':>5} {'mode':>6} {'ok':>6} {'err':>5} {'rps':>9} "
+              f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8} {'batch':>6}")
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.config.concurrency:>5} {result.config.mode:>6} "
+            f"{result.ok:>6} {result.errors:>5} {result.rps:>9.1f} "
+            f"{result.percentile(50):>8.2f} {result.percentile(95):>8.2f} "
+            f"{result.percentile(99):>8.2f} {result.mean_batch():>6.2f}"
+        )
+    return "\n".join(lines)

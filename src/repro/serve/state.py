@@ -1,0 +1,170 @@
+"""Server-side application state: compiled networks behind an LRU.
+
+The match server resolves request app names against the workload registry
+(accepting the same aliases as every CLI command) and materializes each
+application's :class:`CompiledNetwork` through the shared ``AppRun``
+pipeline cache — so a server and any in-process experiment code reuse one
+substrate.  On top of that cache this module adds what serving needs:
+
+* an **LRU** over resident applications (``max_apps``), because a server
+  configured to accept the whole registry should not keep 26 compiled
+  networks live when traffic only ever touches three;
+* **async-safe compilation**: a cache miss compiles in the executor under
+  a per-application lock, so the event loop never blocks on a build and
+  concurrent first requests compile once;
+* **warmup**: pre-compiling the served apps and pushing a tiny batch
+  through :func:`run_multi` at startup, so the first real request does not
+  pay NumPy's first-dispatch costs.
+
+Entries can also be injected directly (:meth:`ServeState.add_network`) to
+serve a hand-built network that is not in the registry — tests use this,
+and it doubles as the embedding API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..experiments.config import ExperimentConfig, default_config
+from ..nfa.automaton import Network
+from ..sim.compiled import CompiledNetwork, compile_network
+from ..sim.multistream import run_multi
+from ..stats.recorder import StageTimer
+from ..workloads.registry import resolve_abbr
+from .protocol import ErrorCode, ProtocolError
+
+__all__ = ["AppEntry", "ServeState"]
+
+
+@dataclass
+class AppEntry:
+    """One resident application: its compiled network and request counter."""
+
+    name: str
+    compiled: CompiledNetwork
+    requests: int = 0
+
+
+class ServeState:
+    """Resolves app names to compiled networks, LRU-bounded, with warmup."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None, *,
+                 apps: Optional[List[str]] = None, max_apps: int = 8,
+                 timer: Optional[StageTimer] = None) -> None:
+        self.config = config or default_config()
+        self.timer = timer if timer is not None else StageTimer()
+        self.max_apps = max(1, max_apps)
+        #: Canonical abbreviations this server agrees to serve (None = any
+        #: registry app).  Resolved once so bad --apps fail at startup.
+        self.allowed: Optional[List[str]] = None
+        if apps is not None:
+            resolved = []
+            for name in apps:
+                canonical = resolve_abbr(name)
+                if canonical is None:
+                    raise ValueError(f"unknown application {name!r}")
+                resolved.append(canonical)
+            self.allowed = resolved
+        self._entries: "OrderedDict[str, AppEntry]" = OrderedDict()
+        self._locks: Dict[str, asyncio.Lock] = {}
+        self.evictions = 0
+
+    # -- synchronous core (shared by async path and tests) -------------------------
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for ``name``; raises typed UNKNOWN_APP errors."""
+        if name in self._entries:  # injected networks bypass the registry
+            return name
+        canonical = resolve_abbr(name)
+        if canonical is None:
+            raise ProtocolError(ErrorCode.UNKNOWN_APP,
+                                f"unknown application {name!r}", recoverable=True)
+        if self.allowed is not None and canonical not in self.allowed:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_APP,
+                f"application {canonical!r} is not served here "
+                f"(serving: {', '.join(self.allowed)})",
+                recoverable=True,
+            )
+        return canonical
+
+    def add_network(self, name: str, network: Network) -> AppEntry:
+        """Inject a hand-built network under ``name`` (embedding/test API)."""
+        with self.timer.stage("compile_app"):
+            entry = AppEntry(name=name, compiled=compile_network(network))
+        self._remember(name, entry)
+        return entry
+
+    def _remember(self, name: str, entry: AppEntry) -> None:
+        self._entries[name] = entry
+        self._entries.move_to_end(name)
+        while len(self._entries) > self.max_apps:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def _materialize(self, canonical: str) -> AppEntry:
+        """Blocking compile through the pipeline cache (executor-side)."""
+        from ..experiments.pipeline import get_run
+
+        run = get_run(canonical, self.config)
+        with self.timer.stage("compile_app"):
+            compiled = run.compiled
+        return AppEntry(name=canonical, compiled=compiled)
+
+    def get_blocking(self, name: str) -> AppEntry:
+        """Resolve + materialize synchronously (warmup, tests, benches)."""
+        canonical = self.resolve(name)
+        entry = self._entries.get(canonical)
+        if entry is None:
+            entry = self._materialize(canonical)
+        self._remember(canonical, entry)
+        return entry
+
+    # -- async path ----------------------------------------------------------------
+
+    async def get(self, name: str,
+                  executor: Optional[concurrent.futures.Executor] = None) -> AppEntry:
+        """Resolve + materialize without blocking the event loop.
+
+        Concurrent first requests for the same application compile once:
+        the compile runs in ``executor`` under a per-app asyncio lock.
+        """
+        canonical = self.resolve(name)
+        entry = self._entries.get(canonical)
+        if entry is not None:
+            self._entries.move_to_end(canonical)
+            return entry
+        lock = self._locks.setdefault(canonical, asyncio.Lock())
+        async with lock:
+            entry = self._entries.get(canonical)
+            if entry is None:
+                loop = asyncio.get_running_loop()
+                entry = await loop.run_in_executor(
+                    executor, self._materialize, canonical
+                )
+            self._remember(canonical, entry)
+        return entry
+
+    # -- warmup & introspection ------------------------------------------------------
+
+    def warmup(self, names: Optional[List[str]] = None,
+               batch_size: int = 4) -> List[str]:
+        """Compile ``names`` (default: the allowed list) and push one tiny
+        batch through the multi-stream engine, so the first real request
+        hits warmed dispatch paths.  Returns the warmed canonical names."""
+        targets = names if names is not None else (self.allowed or [])
+        warmed = []
+        for name in targets:
+            entry = self.get_blocking(name)
+            with self.timer.stage("warmup"):
+                run_multi(entry.compiled, [b"\x00\x01\x02\x03"] * batch_size)
+            warmed.append(entry.name)
+        return warmed
+
+    def resident(self) -> List[str]:
+        """Currently-resident application names, least recent first."""
+        return list(self._entries)

@@ -25,8 +25,11 @@ lock-step execution):
 
 Streams may have different lengths (ragged): a stream that ends simply goes
 dead — its lane is zeroed and contributes no further activity, reports, or
-hot-set accumulation.  Each stream's result is bit-identical to running it
-alone through :func:`repro.sim.run`.
+hot-set accumulation.  Zero-length streams never enter the matrix at all
+(they get their trivial empty result directly), and zero streams return an
+empty list; neither is an error, because a serving batch may legitimately
+shrink to nothing after deadline expiry.  Each stream's result is
+bit-identical to running it alone through :func:`repro.sim.run`.
 """
 
 from __future__ import annotations
@@ -86,18 +89,30 @@ def run_multi(
     k = len(inputs)
     n_words = compiled.n_words
     if k == 0:
+        # Degenerate: no streams, no results (not an error — a serving
+        # batch whose every member expired dispatches as empty).
         return []
     lengths = [int(s.size) for s in inputs]
-    max_len = max(lengths)
 
     reports: List[List] = [[] for _ in range(k)]
     ever = np.zeros((k, n_words), dtype=np.uint64) if track_enabled else None
-    if max_len:
-        sym_rows = _pad_streams(inputs, max_len)
-        if n_words <= _BIGINT_WORD_LIMIT and k <= _BIGINT_STREAM_LIMIT:
-            _lockstep_bigint(compiled, sym_rows, lengths, reports, ever)
+    # Zero-length streams consume no symbols, report nothing, and enable
+    # nothing; give them their trivial result directly instead of carrying
+    # a dead lane (or a ragged-map entry at position 0) through every cycle.
+    live = [row for row, length in enumerate(lengths) if length]
+    if live:
+        live_inputs = [inputs[row] for row in live]
+        live_lengths = [lengths[row] for row in live]
+        # Aliases into `reports`, so the lock-step loops fill the right slots.
+        live_reports = [reports[row] for row in live]
+        live_ever = ever[live] if ever is not None else None
+        sym_rows = _pad_streams(live_inputs, max(live_lengths))
+        if n_words <= _BIGINT_WORD_LIMIT and len(live) <= _BIGINT_STREAM_LIMIT:
+            _lockstep_bigint(compiled, sym_rows, live_lengths, live_reports, live_ever)
         else:
-            _lockstep_packed(compiled, sym_rows, lengths, reports, ever)
+            _lockstep_packed(compiled, sym_rows, live_lengths, live_reports, live_ever)
+        if ever is not None:
+            ever[live] = live_ever  # fancy indexing copied; scatter back
 
     zero = np.zeros(n_words, dtype=np.uint64)
     return [

@@ -15,9 +15,12 @@ from .record import RunStats, render_stats
 from .recorder import Span, StageTimer, stats_enabled
 from .schema import (
     SCHEMA_VERSION,
+    SERVE_SCHEMA,
+    SERVE_SCHEMA_VERSION,
     SPAN_SCHEMA,
     STATS_SCHEMA,
     SchemaError,
+    validate_serve_stats,
     validate_spans,
     validate_stats,
     validate_stats_json,
@@ -26,6 +29,8 @@ from .schema import (
 __all__ = [
     "DEFAULT_STATS_FRACTION",
     "SCHEMA_VERSION",
+    "SERVE_SCHEMA",
+    "SERVE_SCHEMA_VERSION",
     "SPAN_SCHEMA",
     "STATS_SCHEMA",
     "RunStats",
@@ -35,6 +40,7 @@ __all__ = [
     "collect_run_stats",
     "render_stats",
     "stats_enabled",
+    "validate_serve_stats",
     "validate_spans",
     "validate_stats",
     "validate_stats_json",

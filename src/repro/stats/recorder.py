@@ -11,6 +11,7 @@ symbol), which keeps it invisible next to the stages themselves; setting
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List
@@ -74,12 +75,16 @@ class StageTimer:
     ``enabled=None`` defers to the ``REPRO_NO_STATS`` environment variable.
     A disabled timer hands out a shared no-op context manager, so wrapping a
     stage costs two attribute lookups and nothing else.
+
+    Accumulation is thread-safe: the match server records spans from the
+    event loop and its executor workers into one timer.
     """
 
     def __init__(self, enabled: bool = None):  # type: ignore[assignment]
         self.enabled = stats_enabled() if enabled is None else bool(enabled)
         self._calls: Dict[str, int] = {}
         self._seconds: Dict[str, float] = {}
+        self._mutex = threading.Lock()
 
     def stage(self, name: str):
         """Context manager timing one entry into ``name``."""
@@ -87,16 +92,27 @@ class StageTimer:
             return _NULL_HANDLE
         return _SpanHandle(self, name)
 
+    def record(self, name: str, seconds: float) -> None:
+        """Accumulate one externally-measured duration into ``name``.
+
+        For durations that do not fit a ``with`` block — e.g. a request's
+        queue wait computed from two timestamps taken on different tasks.
+        """
+        if self.enabled:
+            self._record(name, seconds)
+
     def _record(self, name: str, seconds: float) -> None:
-        self._calls[name] = self._calls.get(name, 0) + 1
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        with self._mutex:
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
 
     def spans(self) -> List[Span]:
         """All recorded spans, in first-recorded order."""
-        return [
-            Span(name=name, calls=self._calls[name], seconds=self._seconds[name])
-            for name in self._calls
-        ]
+        with self._mutex:
+            return [
+                Span(name=name, calls=self._calls[name], seconds=self._seconds[name])
+                for name in self._calls
+            ]
 
     def seconds(self, name: str) -> float:
         return self._seconds.get(name, 0.0)
@@ -108,5 +124,6 @@ class StageTimer:
         return [span.to_json() for span in self.spans()]
 
     def clear(self) -> None:
-        self._calls.clear()
-        self._seconds.clear()
+        with self._mutex:
+            self._calls.clear()
+            self._seconds.clear()

@@ -13,9 +13,12 @@ from typing import Any, List
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SERVE_SCHEMA",
+    "SERVE_SCHEMA_VERSION",
     "SPAN_SCHEMA",
     "STATS_SCHEMA",
     "SchemaError",
+    "validate_serve_stats",
     "validate_spans",
     "validate_stats",
     "validate_stats_json",
@@ -24,6 +27,10 @@ __all__ = [
 #: Bump on any backwards-incompatible change to the exported document shape.
 #: v2: added the ``semant`` section (static prediction + dead-state proofs).
 SCHEMA_VERSION = 2
+
+#: Bump on any backwards-incompatible change to the match server's exported
+#: statistics document (``repro.serve``).
+SERVE_SCHEMA_VERSION = 1
 
 #: One StageTimer span as exported (shared by RunStats and the bench harness).
 SPAN_SCHEMA = {"name": "str", "calls": "int", "seconds": "number"}
@@ -86,6 +93,36 @@ STATS_SCHEMA = {
         "spap": "number",
         "ap_cpu": "number",
         "resource_saving": "number",
+    },
+    "stages": ("array", SPAN_SCHEMA),
+}
+
+#: The match server's statistics document (``repro.serve``): configuration
+#: echo, request/reply/error counters, micro-batch shape, and the server's
+#: StageTimer spans (queue wait, batch execution, reply encoding).
+SERVE_SCHEMA = {
+    "schema_version": "int",
+    "server": {
+        "apps": ("array", "str"),
+        "window_ms": "number",
+        "max_batch": "int",
+        "max_queue_depth": "int",
+        "workers": "int",
+        "uptime_seconds": "number",
+    },
+    "requests": {
+        "received": "int",
+        "replied": "int",
+        "errors": "int",
+        "expired": "int",
+        "rejected": "int",
+    },
+    "errors_by_code": ("array", {"code": "str", "count": "int"}),
+    "batches": {
+        "dispatched": "int",
+        "batched_requests": "int",
+        "max_size": "int",
+        "mean_size": "number",
     },
     "stages": ("array", SPAN_SCHEMA),
 }
@@ -154,6 +191,30 @@ def validate_stats(document: dict) -> None:
         )
     problems: List[str] = []
     _check(document, STATS_SCHEMA, "$", problems)
+    if problems:
+        raise SchemaError(
+            f"{len(problems)} schema violation(s): " + "; ".join(problems[:20])
+        )
+
+
+def validate_serve_stats(document: Any) -> None:
+    """Validate one match-server statistics export (``repro.serve``).
+
+    Raises :class:`SchemaError` on shape violations or a version mismatch,
+    exactly like :func:`validate_stats` does for run statistics.
+    """
+    if not isinstance(document, dict):
+        raise SchemaError(
+            f"serve stats document must be an object, got {type(document).__name__}"
+        )
+    version = document.get("schema_version")
+    if version != SERVE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported serve schema_version {version!r} "
+            f"(expected {SERVE_SCHEMA_VERSION})"
+        )
+    problems: List[str] = []
+    _check(document, SERVE_SCHEMA, "$", problems)
     if problems:
         raise SchemaError(
             f"{len(problems)} schema violation(s): " + "; ".join(problems[:20])

@@ -55,6 +55,51 @@ class TestRunMulti:
         results = run_multi(compiled, [b"", b""])
         assert all(r.reports.size == 0 and r.cycles == 0 for r in results)
 
+    def test_all_streams_empty_with_tracking(self):
+        # Degenerate lanes must still produce a correctly-shaped (all-zero)
+        # hot set when tracking is on.
+        compiled = compile_network(_chain_network())
+        results = run_multi(compiled, [b"", b""], track_enabled=True)
+        for result in results:
+            assert result.hot_count() == 0
+            assert result.ever_enabled.shape == (compiled.n_words,)
+
+    def test_empty_lanes_never_enter_the_matrix(self, monkeypatch):
+        # A zero-length stream gets its trivial result without occupying a
+        # lock-step lane: the surviving single live stream still rides the
+        # bigint path even when the stream limit is 1.
+        compiled = compile_network(_chain_network())
+        monkeypatch.setattr(ms, "_BIGINT_STREAM_LIMIT", 1)
+        seen = {}
+        original = ms._lockstep_bigint
+
+        def spy(compiled_, sym_rows, lengths, reports, ever):
+            seen["lengths"] = list(lengths)
+            return original(compiled_, sym_rows, lengths, reports, ever)
+
+        monkeypatch.setattr(ms, "_lockstep_bigint", spy)
+        results = run_multi(compiled, [b"", b"abab", b""], track_enabled=True)
+        assert seen["lengths"] == [4]
+        assert [r.n_symbols for r in results] == [0, 4, 0]
+        scalar = run(compiled, b"abab", track_enabled=True)
+        assert reports_equal(results[1].reports, scalar.reports)
+        assert (results[1].ever_enabled == scalar.ever_enabled).all()
+        assert results[0].hot_count() == results[2].hot_count() == 0
+
+    def test_packed_path_with_empty_and_ragged_lanes(self):
+        # Force the packed (k > _BIGINT_STREAM_LIMIT) path with a mix of
+        # empty, short, and long streams; every lane must match the scalar
+        # engine bit for bit.
+        compiled = compile_network(_chain_network())
+        streams = ([b"abab", b"", b"xxabx", b"ab"] * 8)[: ms._BIGINT_STREAM_LIMIT + 6]
+        results = run_multi(compiled, streams, track_enabled=True)
+        assert len(results) == len(streams)
+        for stream, got in zip(streams, results):
+            want = run(compiled, stream, track_enabled=True)
+            assert reports_equal(got.reports, want.reports)
+            assert (got.ever_enabled == want.ever_enabled).all()
+            assert got.cycles == len(stream)
+
     def test_ragged_eod_fires_at_each_streams_own_end(self):
         # End-of-data reporters must fire at each stream's final position,
         # not the longest stream's.

@@ -1,0 +1,95 @@
+"""Thread-safety regressions for the AppRun pipeline cache.
+
+The match server (``repro.serve``) shares the pipeline cache between the
+asyncio loop and its executor workers, so ``get_run`` must hand every
+thread the *same* run object and the lazy construction stages must compute
+exactly once however many threads race on first access.
+"""
+
+import threading
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import clear_cache, get_run
+
+# A deliberately tiny operating point so a hammering test stays fast.
+CONFIG = ExperimentConfig(scale=2048, input_len=64)
+N_THREADS = 8
+N_ROUNDS = 25
+
+
+def _hammer(worker, n_threads=N_THREADS):
+    barrier = threading.Barrier(n_threads)
+    failures = []
+
+    def body(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append(exc)
+
+    threads = [threading.Thread(target=body, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+
+
+class TestGetRunThreadSafety:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_same_key_yields_one_instance(self):
+        seen = [None] * N_THREADS
+
+        def worker(index):
+            for _ in range(N_ROUNDS):
+                seen[index] = get_run("LV", CONFIG)
+
+        _hammer(worker)
+        assert all(run is seen[0] for run in seen)
+
+    def test_distinct_keys_do_not_collide(self):
+        apps = ["LV", "HM", "Bro217", "Fermi"]
+        seen = {}
+        mutex = threading.Lock()
+
+        def worker(index):
+            for round_no in range(N_ROUNDS):
+                abbr = apps[(index + round_no) % len(apps)]
+                run = get_run(abbr, CONFIG)
+                assert run.spec.abbr == abbr
+                with mutex:
+                    previous = seen.setdefault(abbr, run)
+                assert previous is run
+
+        _hammer(worker)
+        assert len(seen) == len(apps)
+
+    def test_clear_cache_concurrent_with_lookups(self):
+        def worker(index):
+            for _ in range(N_ROUNDS):
+                if index % 2:
+                    clear_cache()
+                else:
+                    run = get_run("LV", CONFIG)
+                    assert run.spec.abbr == "LV"
+
+        _hammer(worker)
+
+    def test_lazy_compile_races_compute_once(self):
+        run = get_run("LV", CONFIG)
+        compiled = [None] * N_THREADS
+
+        def worker(index):
+            compiled[index] = run.compiled
+
+        _hammer(worker)
+        assert all(c is compiled[0] for c in compiled)
+        # Double-checked locking admitted exactly one compute per stage.
+        assert run.stats.calls("build") == 1
+        assert run.stats.calls("compile") == 1

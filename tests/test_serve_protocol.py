@@ -1,0 +1,230 @@
+"""Sans-IO protocol tests: round-trips, malformed-frame fuzz, validation."""
+
+import json
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    parse_request_header,
+)
+
+#: JSON-representable header values (no NaN: JSON round-trips must be exact).
+_json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10,
+)
+_headers = st.dictionaries(st.text(max_size=16), _json_values, max_size=8)
+
+
+class TestRoundTrip:
+    @given(header=_headers, payload=st.binary(max_size=512))
+    def test_encode_decode_identity(self, header, payload):
+        buffer = encode_frame(header, payload)
+        decoded = decode_frame(buffer)
+        assert decoded is not None
+        frame, consumed = decoded
+        assert consumed == len(buffer)
+        assert frame.payload == payload
+        # JSON round-trip equality (keys may reorder, values must survive).
+        assert frame.header == json.loads(json.dumps(header))
+
+    @given(
+        request_id=st.integers(min_value=0, max_value=2**31),
+        app=st.text(min_size=1, max_size=12),
+        payload=st.binary(max_size=256),
+        deadline_ms=st.none() | st.floats(min_value=0, max_value=1e6,
+                                          allow_nan=False),
+        max_reports=st.none() | st.integers(min_value=0, max_value=10_000),
+    )
+    def test_match_request_round_trip(self, request_id, app, payload,
+                                      deadline_ms, max_reports):
+        buffer = protocol.request_frame(request_id, app, payload,
+                                        deadline_ms=deadline_ms,
+                                        max_reports=max_reports)
+        frame, consumed = decode_frame(buffer)
+        assert consumed == len(buffer)
+        assert frame.payload == payload
+        request = parse_request_header(frame.header)
+        assert request.type == "match"
+        assert request.request_id == request_id
+        assert request.app == app
+        assert request.max_reports == max_reports
+        if deadline_ms is None:
+            assert request.deadline_ms is None
+        else:
+            assert request.deadline_ms == pytest.approx(deadline_ms)
+
+    @given(header=_headers, payload=st.binary(max_size=64),
+           cut=st.integers(min_value=0, max_value=1_000))
+    def test_every_prefix_is_need_more_not_error(self, header, payload, cut):
+        """A prefix of a valid frame never raises — it decodes to None."""
+        buffer = encode_frame(header, payload)
+        prefix = buffer[: min(cut, len(buffer) - 1)]
+        assert decode_frame(prefix) is None
+
+    def test_concatenated_frames_decode_sequentially(self):
+        first = encode_frame({"type": "ping", "id": 1})
+        second = protocol.request_frame(2, "Snort", b"payload")
+        buffer = first + second
+        frame1, used1 = decode_frame(buffer)
+        assert frame1.header["type"] == "ping"
+        frame2, used2 = decode_frame(buffer[used1:])
+        assert frame2.header["type"] == "match"
+        assert frame2.payload == b"payload"
+        assert used1 + used2 == len(buffer)
+
+    def test_reply_frame_carries_reports_as_pairs(self):
+        buffer = protocol.reply_frame(
+            7, "LV", n_symbols=100, reports=[(3, 1), (9, 4)], truncated=False,
+            batch_size=5, queue_ms=0.5, exec_ms=2.0,
+        )
+        frame, _ = decode_frame(buffer)
+        assert frame.header["reports"] == [[3, 1], [9, 4]]
+        assert frame.header["n_reports"] == 2
+        assert frame.header["batch_size"] == 5
+
+
+def _valid_preamble(header_len: int, payload_len: int) -> bytes:
+    return struct.pack(">2sBxII", protocol.MAGIC, PROTOCOL_VERSION,
+                       header_len, payload_len)
+
+
+class TestMalformedFrames:
+    def _expect(self, buffer: bytes, code: str, recoverable: bool) -> ProtocolError:
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(buffer)
+        assert info.value.code == code
+        assert info.value.recoverable is recoverable
+        return info.value
+
+    def test_bad_magic(self):
+        buffer = b"XX" + encode_frame({"type": "ping"})[2:]
+        self._expect(buffer, ErrorCode.BAD_FRAME, recoverable=False)
+
+    def test_unsupported_version(self):
+        good = encode_frame({"type": "ping"})
+        buffer = good[:2] + bytes([PROTOCOL_VERSION + 1]) + good[3:]
+        self._expect(buffer, ErrorCode.UNSUPPORTED_VERSION, recoverable=False)
+
+    def test_nonzero_reserved_byte(self):
+        good = encode_frame({"type": "ping"})
+        buffer = good[:3] + b"\x01" + good[4:]
+        self._expect(buffer, ErrorCode.BAD_FRAME, recoverable=False)
+
+    def test_oversized_header_length_rejected_before_allocation(self):
+        buffer = _valid_preamble(MAX_HEADER_BYTES + 1, 0)
+        self._expect(buffer, ErrorCode.FRAME_TOO_LARGE, recoverable=False)
+
+    def test_oversized_payload_length_rejected_before_allocation(self):
+        buffer = _valid_preamble(2, MAX_PAYLOAD_BYTES + 1) + b"{}"
+        self._expect(buffer, ErrorCode.FRAME_TOO_LARGE, recoverable=False)
+
+    def test_bad_json_header_is_recoverable(self):
+        raw = b"{not json!"
+        buffer = _valid_preamble(len(raw), 0) + raw
+        self._expect(buffer, ErrorCode.BAD_HEADER, recoverable=True)
+
+    def test_non_object_json_header_is_recoverable(self):
+        raw = b"[1,2,3]"
+        buffer = _valid_preamble(len(raw), 0) + raw
+        self._expect(buffer, ErrorCode.BAD_HEADER, recoverable=True)
+
+    def test_non_utf8_header_is_recoverable(self):
+        raw = b"\xff\xfe\xfd\xfc"
+        buffer = _valid_preamble(len(raw), 0) + raw
+        self._expect(buffer, ErrorCode.BAD_HEADER, recoverable=True)
+
+    def test_encode_rejects_oversized_header(self):
+        with pytest.raises(ProtocolError) as info:
+            encode_frame({"blob": "x" * (MAX_HEADER_BYTES + 1)})
+        assert info.value.code == ErrorCode.FRAME_TOO_LARGE
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError) as info:
+            encode_frame({"type": "match"}, b"\x00" * (MAX_PAYLOAD_BYTES + 1))
+        assert info.value.code == ErrorCode.FRAME_TOO_LARGE
+
+    def test_random_garbage_never_raises_anything_untyped(self):
+        """Fuzz: arbitrary bytes either need-more, decode, or typed error."""
+        rng = random.Random(0xC0FFEE)
+        for _ in range(2000):
+            size = rng.randrange(0, 64)
+            blob = bytes(rng.randrange(256) for _ in range(size))
+            try:
+                decoded = decode_frame(blob)
+            except ProtocolError as exc:
+                assert exc.code in ErrorCode.ALL
+            else:
+                assert decoded is None or decoded[1] <= len(blob)
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=200)
+    def test_hypothesis_garbage_never_raises_anything_untyped(self, blob):
+        try:
+            decoded = decode_frame(blob)
+        except ProtocolError as exc:
+            assert exc.code in ErrorCode.ALL
+        else:
+            assert decoded is None or decoded[1] <= len(blob)
+
+
+class TestParseRequestHeader:
+    def _expect(self, header, code, request_id=None):
+        with pytest.raises(ProtocolError) as info:
+            parse_request_header(header)
+        assert info.value.code == code
+        assert info.value.recoverable is True
+        assert info.value.request_id == request_id
+
+    def test_missing_type(self):
+        self._expect({"id": 3}, ErrorCode.BAD_REQUEST, request_id=3)
+
+    def test_unknown_type_echoes_id(self):
+        self._expect({"type": "bogus", "id": 9}, ErrorCode.UNKNOWN_TYPE,
+                     request_id=9)
+
+    def test_missing_id(self):
+        self._expect({"type": "ping"}, ErrorCode.BAD_REQUEST)
+
+    def test_boolean_id_rejected(self):
+        self._expect({"type": "ping", "id": True}, ErrorCode.BAD_REQUEST)
+
+    def test_match_needs_app(self):
+        self._expect({"type": "match", "id": 1}, ErrorCode.BAD_REQUEST,
+                     request_id=1)
+
+    def test_match_rejects_non_numeric_deadline(self):
+        self._expect({"type": "match", "id": 1, "app": "LV",
+                      "deadline_ms": "soon"}, ErrorCode.BAD_REQUEST,
+                     request_id=1)
+
+    def test_match_rejects_negative_max_reports(self):
+        self._expect({"type": "match", "id": 1, "app": "LV",
+                      "max_reports": -1}, ErrorCode.BAD_REQUEST, request_id=1)
+
+    def test_control_types_need_no_app(self):
+        for frame_type in ("ping", "stats", "shutdown"):
+            request = parse_request_header({"type": frame_type, "id": 2})
+            assert request.type == frame_type
+            assert request.app is None
+
+
+def test_expand_errors_rows_sorted():
+    rows = protocol.expand_errors({"OVERLOADED": 2, "BAD_FRAME": 1})
+    assert rows == [{"code": "BAD_FRAME", "count": 1},
+                    {"code": "OVERLOADED", "count": 2}]

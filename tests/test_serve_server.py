@@ -1,0 +1,449 @@
+"""End-to-end tests for the match service (server, batcher, client, loadgen).
+
+Every test spins a real :class:`MatchServer` on a unix socket inside a
+private event loop and talks to it through the framed protocol — injected
+toy networks keep this fast (no registry compile).
+"""
+
+import asyncio
+import contextlib
+import random
+import struct
+
+import pytest
+
+from repro.nfa.automaton import Automaton, Network, StartKind
+from repro.nfa.symbolset import SymbolSet
+from repro.serve import protocol
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.client import AsyncServeClient, ServeRequestError
+from repro.serve.loadgen import LoadgenConfig, render_results, run_loadgen
+from repro.serve.protocol import ErrorCode, ProtocolError
+from repro.serve.server import MatchServer, ServerOptions
+from repro.serve.state import ServeState
+from repro.sim import run
+from repro.stats import validate_serve_stats
+
+
+def _chain_network(word: bytes = b"ab") -> Network:
+    """One automaton matching ``word`` anywhere, reporting on its last state."""
+    automaton = Automaton("chain")
+    for index, symbol in enumerate(word):
+        automaton.add_state(
+            SymbolSet.from_symbols([symbol]),
+            start=StartKind.ALL_INPUT if index == 0 else StartKind.NONE,
+            reporting=index == len(word) - 1,
+            report_code=f"chain:{index}" if index == len(word) - 1 else None,
+        )
+        if index:
+            automaton.add_edge(index - 1, index)
+    network = Network(f"chain-{word.decode()}")
+    network.add(automaton)
+    return network
+
+
+@contextlib.asynccontextmanager
+async def _server(tmp_path, **overrides):
+    """A running server on a unix socket with two injected toy apps."""
+    sock = str(tmp_path / "serve.sock")
+    options = ServerOptions(unix_path=sock, warmup=False, **overrides)
+    server = MatchServer(None, options)
+    server.state.add_network("toy", _chain_network(b"ab"))
+    server.state.add_network("toy2", _chain_network(b"abc"))
+    await server.start()
+    loop_task = asyncio.ensure_future(server.serve_until_stopped())
+    try:
+        yield server, sock
+    finally:
+        await server.stop()
+        await asyncio.wait_for(loop_task, 10)
+
+
+async def _read_reply(reader) -> protocol.Frame:
+    preamble = await reader.readexactly(protocol.PREAMBLE_SIZE)
+    header_len, payload_len = protocol.decode_preamble(preamble)
+    body = await reader.readexactly(header_len + payload_len)
+    decoded = protocol.decode_frame(preamble + body)
+    assert decoded is not None
+    return decoded[0]
+
+
+class TestMatchCorrectness:
+    def test_reply_matches_scalar_run(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (server, sock):
+                data = b"xxabyababz" * 7
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    outcome = await client.match("toy", data)
+                compiled = server.state.get_blocking("toy").compiled
+                scalar = run(compiled, data)
+                assert outcome.n_symbols == len(data)
+                assert outcome.reports == [tuple(r) for r in scalar.reports.tolist()]
+                assert not outcome.reports_truncated
+                assert outcome.batch_size == 1  # eager when idle: no window paid
+
+        asyncio.run(scenario())
+
+    def test_empty_payload_is_a_valid_match(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    outcome = await client.match("toy", b"")
+                assert outcome.n_symbols == 0
+                assert outcome.reports == []
+
+        asyncio.run(scenario())
+
+    def test_max_reports_truncates_reply(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    outcome = await client.match("toy", b"ab" * 50, max_reports=3)
+                assert len(outcome.reports) == 3
+                assert outcome.reports_truncated
+
+        asyncio.run(scenario())
+
+    def test_two_apps_route_to_their_own_networks(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    out_ab, out_abc = await asyncio.gather(
+                        client.match("toy", b"zabz"),
+                        client.match("toy2", b"zabcz"),
+                    )
+                assert out_ab.app == "toy" and len(out_ab.reports) == 1
+                assert out_abc.app == "toy2" and len(out_abc.reports) == 1
+
+        asyncio.run(scenario())
+
+
+class TestCoalescing:
+    def test_concurrent_requests_batch_together(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path, window_ms=50.0) as (server, sock):
+                data = b"xyab" * 512  # big enough that a batch takes a while
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    outcomes = await asyncio.gather(
+                        *[client.match("toy", data) for _ in range(16)]
+                    )
+                sizes = sorted(o.batch_size for o in outcomes)
+                assert sizes[-1] >= 2, f"no coalescing happened: {sizes}"
+                assert server.batcher.batched_requests == 16
+                assert server.batcher.batches_dispatched < 16
+                # Everyone still got the right answer.
+                expected = len(run(server.state.get_blocking("toy").compiled,
+                                   data).reports)
+                assert all(len(o.reports) == expected for o in outcomes)
+
+        asyncio.run(scenario())
+
+
+class TestDeadlines:
+    def test_already_expired_deadline_is_typed_and_dropped(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (server, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    with pytest.raises(ServeRequestError) as info:
+                        await client.match("toy", b"abab", deadline_ms=0.0)
+                    assert info.value.code == ErrorCode.DEADLINE_EXCEEDED
+                    # The connection survived; a generous deadline succeeds.
+                    outcome = await client.match("toy", b"abab",
+                                                 deadline_ms=60_000.0)
+                    assert len(outcome.reports) == 2
+                assert server.batcher.expired == 1
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_batcher_rejects_above_queue_depth(self, tmp_path):
+        """Deterministic: eager dispatch takes #1, #2 queues, #3 rejected."""
+        async def scenario():
+            state = ServeState()
+            entry = state.add_network("toy", _chain_network(b"ab"))
+            batcher = MicroBatcher(BatchPolicy(window_s=0.05, max_batch=1,
+                                               max_queue_depth=1))
+            results = await asyncio.gather(
+                batcher.submit(entry, b"ab"),
+                batcher.submit(entry, b"ab"),
+                batcher.submit(entry, b"ab"),
+                return_exceptions=True,
+            )
+            codes = [r.code if isinstance(r, ProtocolError) else "ok"
+                     for r in results]
+            assert codes == ["ok", "ok", ErrorCode.OVERLOADED]
+
+        asyncio.run(scenario())
+
+    def test_server_counts_rejections(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path, max_queue_depth=1) as (server, sock):
+                data = b"xyab" * 512
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    outcomes = await asyncio.gather(
+                        *[client.match("toy", data) for _ in range(16)],
+                        return_exceptions=True,
+                    )
+                ok = [o for o in outcomes if not isinstance(o, Exception)]
+                rejected = [o for o in outcomes
+                            if isinstance(o, ServeRequestError)]
+                assert len(ok) + len(rejected) == 16
+                assert all(o.code == ErrorCode.OVERLOADED for o in rejected)
+                assert server.requests_rejected == len(rejected)
+
+        asyncio.run(scenario())
+
+    def test_drain_fails_queued_requests(self, tmp_path):
+        async def scenario():
+            state = ServeState()
+            entry = state.add_network("toy", _chain_network(b"ab"))
+            batcher = MicroBatcher(BatchPolicy(window_s=30.0, max_batch=4))
+            first = asyncio.ensure_future(batcher.submit(entry, b"ab"))
+            await first  # dispatched eagerly; queue now idle
+            second = asyncio.ensure_future(batcher.submit(entry, b"ab"))
+            third = asyncio.ensure_future(batcher.submit(entry, b"ab"))
+            await asyncio.sleep(0)  # both parked behind the 30s window
+            assert batcher.queue_depth == 1  # second dispatched eagerly
+            await batcher.drain()
+            with pytest.raises(ProtocolError) as info:
+                await third
+            assert info.value.code == ErrorCode.OVERLOADED
+            await second  # its batch was already in flight when we drained
+
+        asyncio.run(scenario())
+
+
+class TestErrorPaths:
+    def test_unknown_app_is_typed(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    with pytest.raises(ServeRequestError) as info:
+                        await client.match("no-such-app", b"ab")
+                    assert info.value.code == ErrorCode.UNKNOWN_APP
+                    # Typed errors are recoverable: the connection still works.
+                    assert (await client.match("toy", b"ab")).n_symbols == 2
+
+        asyncio.run(scenario())
+
+    def test_disallowed_registry_app_is_typed(self, tmp_path):
+        async def scenario():
+            # Serve only toy networks; a real registry app must be refused
+            # without compiling anything.
+            async with _server(tmp_path, max_apps=2) as (server, sock):
+                server.state.allowed = []
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    with pytest.raises(ServeRequestError) as info:
+                        await client.match("Snort", b"ab")
+                    assert info.value.code == ErrorCode.UNKNOWN_APP
+
+        asyncio.run(scenario())
+
+
+class TestMalformedFramesOverTheWire:
+    def test_bad_magic_gets_error_reply_then_close(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                reader, writer = await asyncio.open_unix_connection(sock)
+                writer.write(b"XX" + protocol.control_frame("ping", 1)[2:])
+                await writer.drain()
+                reply = await _read_reply(reader)
+                assert reply.header["type"] == "error"
+                assert reply.header["code"] == ErrorCode.BAD_FRAME
+                assert await reader.read() == b""  # server closed the stream
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_oversized_length_gets_error_reply_then_close(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                reader, writer = await asyncio.open_unix_connection(sock)
+                writer.write(struct.pack(
+                    ">2sBxII", protocol.MAGIC, protocol.PROTOCOL_VERSION,
+                    protocol.MAX_HEADER_BYTES + 1, 0,
+                ))
+                await writer.drain()
+                reply = await _read_reply(reader)
+                assert reply.header["code"] == ErrorCode.FRAME_TOO_LARGE
+                assert await reader.read() == b""
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_bad_json_header_keeps_the_connection_framed(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                reader, writer = await asyncio.open_unix_connection(sock)
+                raw = b"{broken json"
+                writer.write(struct.pack(
+                    ">2sBxII", protocol.MAGIC, protocol.PROTOCOL_VERSION,
+                    len(raw), 0,
+                ) + raw)
+                await writer.drain()
+                reply = await _read_reply(reader)
+                assert reply.header["code"] == ErrorCode.BAD_HEADER
+                # Recoverable: a valid frame on the same connection still works.
+                writer.write(protocol.control_frame("ping", 5))
+                await writer.drain()
+                pong = await _read_reply(reader)
+                assert pong.header["type"] == "pong"
+                assert pong.header["id"] == 5
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_truncated_preamble_then_disconnect_does_not_kill_server(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                _reader, writer = await asyncio.open_unix_connection(sock)
+                writer.write(b"RS\x01")  # 3 of 12 preamble bytes
+                await writer.drain()
+                writer.close()
+                # Server must survive; prove it with a fresh client.
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    await client.ping()
+
+        asyncio.run(scenario())
+
+    def test_server_survives_random_garbage_corpus(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (server, sock):
+                rng = random.Random(0xF022)
+                for _ in range(25):
+                    _reader, writer = await asyncio.open_unix_connection(sock)
+                    blob = bytes(rng.randrange(256)
+                                 for _ in range(rng.randrange(1, 200)))
+                    writer.write(blob)
+                    await writer.drain()
+                    writer.close()
+                    with contextlib.suppress(ConnectionError):
+                        await writer.wait_closed()
+                # Still serving, and the stats export is still schema-valid.
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    await client.ping()
+                    document = await client.stats()
+                validate_serve_stats(document)
+
+        asyncio.run(scenario())
+
+
+class TestStatsAndLifecycle:
+    def test_stats_document_validates_and_adds_up(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    await client.ping()
+                    await client.match("toy", b"abab")
+                    with contextlib.suppress(ServeRequestError):
+                        await client.match("nope", b"ab")
+                    document = await client.stats()
+                validate_serve_stats(document)
+                requests = document["requests"]
+                assert requests["received"] >= 4
+                assert requests["errors"] == 1
+                assert document["errors_by_code"] == [
+                    {"code": ErrorCode.UNKNOWN_APP, "count": 1}
+                ]
+                assert document["batches"]["dispatched"] >= 1
+                stage_names = {span["name"] for span in document["stages"]}
+                assert {"execute", "request", "reply"} <= stage_names
+
+        asyncio.run(scenario())
+
+    def test_remote_shutdown_stops_the_server(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "serve.sock")
+            server = MatchServer(None, ServerOptions(unix_path=sock,
+                                                     warmup=False))
+            server.state.add_network("toy", _chain_network(b"ab"))
+            await server.start()
+            loop_task = asyncio.ensure_future(server.serve_until_stopped())
+            client = await AsyncServeClient.open(unix_path=sock)
+            await client.shutdown()
+            await client.close()
+            await asyncio.wait_for(loop_task, 10)  # returned on its own
+
+        asyncio.run(scenario())
+
+    def test_shutdown_frames_can_be_disabled(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path, allow_shutdown=False) as (_s, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    with pytest.raises(ServeRequestError) as info:
+                        await client.shutdown()
+                    assert info.value.code == ErrorCode.SHUTDOWN_DISABLED
+                    await client.ping()  # still serving
+
+        asyncio.run(scenario())
+
+    def test_lru_keeps_at_most_max_apps(self):
+        state = ServeState(max_apps=1)
+        state.add_network("one", _chain_network(b"ab"))
+        state.add_network("two", _chain_network(b"abc"))
+        assert state.resident() == ["two"]
+        assert state.evictions == 1
+
+    def test_warmup_compiles_and_runs_injected_apps(self):
+        state = ServeState()
+        state.add_network("toy", _chain_network(b"ab"))
+        assert state.warmup(["toy"]) == ["toy"]
+        assert state.timer.calls("warmup") == 1
+
+
+class TestLoadgen:
+    def test_closed_loop_counts_every_request(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                config = LoadgenConfig(apps=["toy", "toy2"], requests=24,
+                                       concurrency=4, input_len=64,
+                                       unix_path=sock)
+                result = await run_loadgen(config)
+                assert result.ok == 24
+                assert result.errors == 0
+                assert result.rps > 0
+                assert len(result.latencies_ms) == 24
+                assert result.percentile(50) <= result.percentile(99)
+                table = render_results([result])
+                assert "closed" in table and "p99ms" in table
+                payload = result.to_json()
+                assert payload["ok"] == 24
+                assert payload["latency_ms"]["p50"] > 0
+
+        asyncio.run(scenario())
+
+    def test_open_loop_paces_arrivals(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                config = LoadgenConfig(apps=["toy"], requests=10,
+                                       concurrency=2, mode="open", rate=500.0,
+                                       input_len=32, unix_path=sock)
+                result = await run_loadgen(config)
+                assert result.ok == 10
+                assert result.errors == 0
+                # 10 arrivals at 500/s cannot finish faster than 18ms.
+                assert result.elapsed_s >= 9 / 500.0
+
+        asyncio.run(scenario())
+
+    def test_loadgen_counts_typed_errors_instead_of_raising(self, tmp_path):
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                config = LoadgenConfig(apps=["no-such-app"], requests=5,
+                                       concurrency=2, input_len=16,
+                                       unix_path=sock)
+                result = await run_loadgen(config)
+                assert result.ok == 0
+                assert result.errors == 5
+                assert result.errors_by_code == {ErrorCode.UNKNOWN_APP: 5}
+
+        asyncio.run(scenario())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(apps=[])
+        with pytest.raises(ValueError):
+            LoadgenConfig(apps=["toy"], mode="open")  # open loop needs a rate
+        with pytest.raises(ValueError):
+            LoadgenConfig(apps=["toy"], mode="sideways")
