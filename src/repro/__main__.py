@@ -19,6 +19,11 @@ Commands:
   (``repro.semant``): the abstract-interpretation dead-state prover, the
   profile-free hot/cold predictor, and the differential SPAP-S checks
   against the profiler and the simulation ground truth.
+* ``cost [ABBR ...|--all]`` — compilability and cost analysis
+  (``repro.cost``): budgeted subset-construction DFA-safety proofs,
+  symbol-class table compression, and the calibrated per-backend cost
+  model, fused into per-partition advisories (SPAP-C diagnostics);
+  ``--check`` replays every safety proof through real determinization.
 * ``serve --apps A,B [--port N|--unix PATH]`` — the long-running match
   service (``repro.serve``): framed requests in, micro-batched
   multi-stream dispatches out.
@@ -29,7 +34,8 @@ Commands:
 Application names accept the registry abbreviations plus paper-table
 aliases (``SNT`` for ``Snort``), case-insensitively.  Unknown application
 or figure names exit with status 2 and a "did you mean" suggestion;
-``verify`` and ``semant`` exit 1 when any rule of ERROR severity fires.
+``verify``, ``semant``, and ``cost`` exit 1 when any rule of ERROR
+severity fires.
 ``--no-verify`` on the experiment commands disables the pipeline's
 fail-fast invariant checks (see ``repro.verify``).
 """
@@ -297,6 +303,47 @@ def _cmd_semant(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_cost(args) -> int:
+    from .cost.app import cost_app
+    from .cost.explore import DEFAULT_DFA_BUDGET
+
+    budget = args.budget if args.budget is not None else DEFAULT_DFA_BUDGET
+
+    if args.all:
+        targets: Optional[List[str]] = app_names()
+    elif args.apps:
+        targets = _resolve_apps(args.apps)
+        if targets is None:
+            return 2
+    else:
+        print("cost: name at least one application or pass --all",
+              file=sys.stderr)
+        return 2
+
+    config = default_config()
+    failed = 0
+    payload = []
+    for abbr in targets:
+        outcome = cost_app(abbr, config, fraction=args.profile,
+                           budget=budget, check=args.check)
+        if args.json:
+            payload.append(outcome.to_json())
+        else:
+            print(outcome.render())
+            report = outcome.report
+            if report.errors or (report.warnings and args.verbose):
+                print(report.render_text(verbose=args.verbose))
+        failed += 0 if outcome.ok else 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload, indent=2))
+    elif len(targets) > 1:
+        print(f"{len(targets) - failed}/{len(targets)} applications "
+              "cost-analyzed clean")
+    return 1 if failed else 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -485,6 +532,30 @@ def main(argv: Optional[list] = None) -> int:
                                help="enabling-opportunity horizon for the "
                                     "static predictor (default: input length)")
 
+    cost_parser = sub.add_parser(
+        "cost",
+        help="compilability/cost analysis: DFA-safety proofs, symbol-class "
+             "compression, backend advisories (repro.cost)",
+    )
+    cost_parser.add_argument("apps", nargs="*",
+                             help="application abbreviations (see list-apps)")
+    cost_parser.add_argument("--all", action="store_true",
+                             help="analyze every registry application")
+    cost_parser.add_argument("--json", action="store_true",
+                             help="emit a JSON report instead of text")
+    cost_parser.add_argument("--verbose", action="store_true",
+                             help="print warnings and fix hints, not just errors")
+    cost_parser.add_argument("--profile", type=float, default=None,
+                             help="partitioning fraction (default: the "
+                                  "standard 1%% operating point)")
+    cost_parser.add_argument("--budget", type=int, default=None,
+                             help="subset-construction state budget "
+                                  "(default 4096)")
+    cost_parser.add_argument("--check", action="store_true",
+                             help="replay every DFA-safety proof through real "
+                                  "determinization + reference simulation "
+                                  "(the SPAP-C001 differential)")
+
     serve_parser = sub.add_parser(
         "serve",
         help="long-running match service with micro-batching (repro.serve)",
@@ -561,6 +632,7 @@ def main(argv: Optional[list] = None) -> int:
         "stats": _cmd_stats,
         "verify": _cmd_verify,
         "semant": _cmd_semant,
+        "cost": _cmd_cost,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
     }

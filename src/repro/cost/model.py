@@ -1,0 +1,197 @@
+"""Analytic per-backend cost model over static features.
+
+Predicts, per partition and per engine backend, the expected wall time per
+input symbol — from quantities available *without running any input*:
+state count, packed bit-matrix width, effective alphabet-class count, the
+profile-free hot fraction from :mod:`repro.semant.predict`, and the
+DFA-safety verdict of :mod:`repro.cost.explore`.
+
+Backends modeled (the pluggable-engine set the ROADMAP's hybrid-DFA item
+will make selectable per partition):
+
+* ``reference`` — the set-based engine: cost tracks the number of *active*
+  states per cycle, so it wins when activity is sparse (event-driven cold
+  partitions).
+* ``bitpacked`` — the word-parallel engine: cost tracks the packed vector
+  width ``n_words`` plus a fixed per-cycle overhead, independent of
+  activity.
+* ``multistream`` — K-wide lock-step bitpacked execution: the per-cycle
+  overhead amortizes over K streams; a *throughput* backend, feasible only
+  for streaming (not event-driven) partitions.
+* ``dfa`` — table-driven DFA dispatch: one lookup per symbol, independent
+  of both width and activity, feasible only when subset construction was
+  proven bounded and the table fits the memory budget.
+
+Calibration (DESIGN.md §12): the default coefficients are solved from the
+committed ``BENCH_engine.json`` operating point — Snort at scale 64,
+1081 states (17 words), K=8 — whose measured throughputs are
+0.062 / 0.213 / 0.405 MB/s for reference / bitpacked / multistream
+(16.1 / 4.69 / 2.47 us per symbol).  :meth:`CostModel.from_engine_bench`
+re-derives them from any such document, so re-benching recalibrates the
+model without touching code.  Units are microseconds per input symbol;
+only *ratios* matter for the advisory, which is what the cost-smoke CI
+check validates (predicted-fastest vs measured-fastest agreement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "STREAMING_BACKENDS",
+    "DFA_TABLE_BUDGET",
+    "CostFeatures",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "rank_backends",
+]
+
+#: Every backend the model prices, in canonical order.
+BACKENDS: Tuple[str, ...] = ("reference", "bitpacked", "multistream", "dfa")
+
+#: Backends that consume one contiguous symbol stream (no enable events).
+STREAMING_BACKENDS: Tuple[str, ...] = ("multistream", "dfa")
+
+#: Memory budget for a materialized DFA transition table (bytes).  A safe
+#: subset count whose table would still exceed this is advised against
+#: (SPAP-C004): ``states * classes * 8`` must fit cache-adjacent memory.
+DFA_TABLE_BUDGET = 32 << 20
+
+# Word-work share of bitpacked cost at the calibration point: the fraction
+# of a cycle spent on width-proportional NumPy word ops (vs fixed Python
+# dispatch overhead).  An assumption, not a measurement — see DESIGN.md §12.
+_WORD_WORK_SHARE = 0.35
+
+# Active fraction assumed for the reference engine's calibration point and
+# the share of its cost that is per-active-state set manipulation.
+_CAL_ACTIVE_FRACTION = 0.10
+_REF_BASE_SHARE = 0.10
+
+
+@dataclass(frozen=True)
+class CostFeatures:
+    """Static features of one partition, as the cost model consumes them."""
+
+    n_states: int
+    n_words: int  # ceil(n_states / 64), the packed vector width
+    n_classes: int  # effective alphabet size (repro.cost.classes)
+    mean_fanout: float  # edges per state
+    hot_fraction: float  # profile-free predicted-active fraction (semant)
+    event_driven: bool  # cold partition: enabled by SpAP events, not a stream
+    dfa_safe: bool  # subset construction proven bounded (repro.cost.explore)
+    dfa_states: Optional[int]  # subset-state count when safe
+    n_streams: int = 8  # lock-step width the multistream backend would run
+
+    @property
+    def dfa_table_bytes(self) -> Optional[int]:
+        """Transition-table footprint of the proven DFA (8-byte entries)."""
+        if self.dfa_states is None:
+            return None
+        return self.dfa_states * self.n_classes * 8
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-backend cost coefficients (microseconds per input symbol)."""
+
+    ref_base: float  # reference: fixed per-cycle dispatch
+    ref_per_active: float  # reference: per active state per cycle
+    bp_base: float  # bitpacked: fixed per-cycle dispatch
+    bp_per_word: float  # bitpacked: per packed word per cycle
+    ms_per_word: float  # multistream: per packed word per aggregate symbol
+    dfa_base: float  # dfa: one table lookup + report probe per symbol
+
+    def predict(self, features: CostFeatures) -> Dict[str, Optional[float]]:
+        """Predicted us/symbol per backend; ``None`` marks infeasible."""
+        active = features.hot_fraction * features.n_states
+        costs: Dict[str, Optional[float]] = {
+            "reference": self.ref_base + self.ref_per_active * active,
+            "bitpacked": self.bp_base + self.bp_per_word * features.n_words,
+            "multistream": None,
+            "dfa": None,
+        }
+        if not features.event_driven:
+            k = max(1, features.n_streams)
+            costs["multistream"] = (
+                self.bp_base / k + self.ms_per_word * features.n_words
+            )
+            table_bytes = features.dfa_table_bytes
+            if (
+                features.dfa_safe
+                and table_bytes is not None
+                and table_bytes <= DFA_TABLE_BUDGET
+            ):
+                costs["dfa"] = self.dfa_base
+        return costs
+
+    @classmethod
+    def from_engine_bench(
+        cls,
+        document: Mapping[str, object],
+        *,
+        active_fraction: float = _CAL_ACTIVE_FRACTION,
+        dfa_base: float = 0.7,
+    ) -> "CostModel":
+        """Solve coefficients from a ``BENCH_engine.json``-shaped document.
+
+        Uses the document's workload shape (states, k_streams) and measured
+        MB/s, under the documented word-work-share assumption.  ``dfa_base``
+        stays an input: the bench harness does not time a DFA backend (it
+        does not exist yet — this model is its justification).
+        """
+        workload = document["workload"]
+        throughput = document["throughput_mb_s"]
+        if not isinstance(workload, Mapping) or not isinstance(throughput, Mapping):
+            raise ValueError("engine bench document missing workload/throughput_mb_s")
+        n_states = int(workload["n_states"])  # type: ignore[call-overload]
+        k_streams = int(workload["k_streams"])  # type: ignore[call-overload]
+        n_words = (n_states + 63) // 64
+
+        def us_per_symbol(mb_s: object) -> float:
+            return 1.0 / float(mb_s)  # type: ignore[arg-type]  # 1/(MB/s) = us/B
+
+        ref_us = us_per_symbol(throughput["reference"])
+        bp_us = us_per_symbol(throughput["bitpacked"])
+        ms_us = us_per_symbol(throughput["multistream_aggregate"])
+
+        bp_per_word = bp_us * _WORD_WORK_SHARE / n_words
+        bp_base = bp_us - bp_per_word * n_words
+        ms_per_word = max(0.0, (ms_us - bp_base / k_streams) / n_words)
+        ref_base = ref_us * _REF_BASE_SHARE
+        active = max(1.0, active_fraction * n_states)
+        ref_per_active = (ref_us - ref_base) / active
+        return cls(
+            ref_base=ref_base,
+            ref_per_active=ref_per_active,
+            bp_base=bp_base,
+            bp_per_word=bp_per_word,
+            ms_per_word=ms_per_word,
+            dfa_base=dfa_base,
+        )
+
+
+#: Coefficients solved by :meth:`CostModel.from_engine_bench` from the
+#: committed BENCH_engine.json (Snort, scale 64, 1081 states, K=8); baked
+#: as literals so importing the model never reads the filesystem.
+DEFAULT_COST_MODEL = CostModel(
+    ref_base=1.613,
+    ref_per_active=0.134,
+    bp_base=3.051,
+    bp_per_word=0.0966,
+    ms_per_word=0.1228,
+    dfa_base=0.7,
+)
+
+
+def rank_backends(
+    costs: Mapping[str, Optional[float]]
+) -> Tuple[Tuple[str, float], ...]:
+    """Feasible backends cheapest-first, ties broken by canonical order."""
+    feasible = [
+        (name, cost)
+        for name, cost in ((name, costs.get(name)) for name in BACKENDS)
+        if cost is not None
+    ]
+    return tuple(sorted(feasible, key=lambda pair: (pair[1], BACKENDS.index(pair[0]))))

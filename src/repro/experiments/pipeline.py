@@ -74,6 +74,10 @@ class AppRun:
         self._baselines: Dict[int, BaselineOutcome] = {}
         self._spap: Dict[Tuple[float, int], PartitionedOutcome] = {}
         self._ap_cpu: Dict[Tuple[float, int], PartitionedOutcome] = {}
+        # repro.cost outcomes, keyed (fraction, budget); typed loosely to
+        # keep this module import-cycle-free (repro.cost times itself
+        # through repro.stats).
+        self._cost: Dict[Tuple[float, int], object] = {}
 
     # -- construction stages ------------------------------------------------------
 
@@ -232,6 +236,25 @@ class AppRun:
                     partitioned, self.test_input, config, bins, self.config.cpu_model
                 )
         return self._ap_cpu[key]
+
+    def cost_outcome(self, fraction: float, budget: Optional[int] = None):
+        """Cached compilability/cost advisories (``repro.cost``).
+
+        The fast static half only (no determinization differential); the
+        work itself is timed under the ``cost`` stage inside
+        :func:`~repro.cost.app.analyze_run_cost`.
+        """
+        # Deferred: repro.cost imports this module for the AppRun type.
+        from ..cost.app import analyze_run_cost
+        from ..cost.explore import DEFAULT_DFA_BUDGET
+
+        use_budget = DEFAULT_DFA_BUDGET if budget is None else budget
+        key = (fraction, use_budget)
+        if key not in self._cost:
+            self._cost[key] = analyze_run_cost(
+                self, fraction=fraction, budget=use_budget
+            )
+        return self._cost[key]
 
     # -- derived metrics -----------------------------------------------------------
 

@@ -83,6 +83,9 @@ class AppSweepRow:
     prediction_accuracy: float
     static_accuracy: float  # profile-free predictor (repro.semant)
     n_statically_dead: int
+    n_classes: int  # effective symbol-class alphabet (repro.cost)
+    dfa_safe: bool  # parent network proven determinizable within budget
+    backend: str  # recommended engine backend for the parent network
     spap_speedup: float
     ap_cpu_speedup: float
     resource_saving: float
@@ -120,6 +123,14 @@ def sweep_app(abbr: str, config: ExperimentConfig,
         prediction_accuracy=stats.prediction_accuracy,
         static_accuracy=stats.static_accuracy,
         n_statically_dead=stats.n_statically_dead,
+        n_classes=stats.cost_n_classes,
+        dfa_safe=any(
+            p.dfa_safe for p in stats.cost_partitions if p.name == "network"
+        ),
+        backend=next(
+            (p.recommended for p in stats.cost_partitions if p.name == "network"),
+            "reference",
+        ),
         spap_speedup=stats.spap_speedup,
         ap_cpu_speedup=stats.ap_cpu_speedup,
         resource_saving=stats.resource_saving,
@@ -178,6 +189,8 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
             row.queue_refills,
             f"{row.prediction_accuracy:.3f}",
             f"{row.static_accuracy:.3f}",
+            row.n_classes,
+            f"{row.backend}{'*' if row.dfa_safe else ''}",
             f"{row.spap_speedup:.2f}x",
             f"{row.ap_cpu_speedup:.2f}x",
             f"{100.0 * row.resource_saving:.1f}%",
@@ -185,10 +198,12 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
         ]
         for row in rows
     ]
+    # Backend column: '*' marks networks proven DFA-safe within the default
+    # subset-construction budget (repro.cost).
     return render_table(
         ["App", "Group", "States", "NFAs", "Hot", "Batches", "Stalls",
-         "IRs", "Refills", "PredAcc", "StatAcc", "SpAP", "AP-CPU", "Saved",
-         "Wall"],
+         "IRs", "Refills", "PredAcc", "StatAcc", "Classes", "Backend",
+         "SpAP", "AP-CPU", "Saved", "Wall"],
         body,
     )
 
@@ -212,6 +227,10 @@ def sweep_summary(rows: Sequence[AppSweepRow]) -> dict:
             sum(row.static_accuracy for row in rows) / len(rows),
         "total_statically_dead":
             sum(row.n_statically_dead for row in rows),
+        "mean_class_count":
+            sum(row.n_classes for row in rows) / len(rows),
+        "fraction_dfa_safe":
+            sum(1 for row in rows if row.dfa_safe) / len(rows),
         "total_intermediate_reports":
             sum(row.n_intermediate_reports for row in rows),
         "total_queue_refills": sum(row.queue_refills for row in rows),

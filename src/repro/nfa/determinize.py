@@ -11,24 +11,122 @@ Semantics match the network exactly: a DFA state is the set of enabled NFA
 states; all-input start states are re-enabled on every transition, and a
 transition that activates reporting NFA states emits those reports at the
 consumed position.
+
+The flattening (:func:`flatten_network`), alphabet-class computation
+(:func:`alphabet_classes`), and per-class representative selection
+(:func:`class_representatives`) are public because the budgeted
+subset-construction *explorer* in :mod:`repro.cost.explore` must walk
+exactly the same transition function this module materializes: sharing the
+tables is what makes its DFA-safety verdicts proofs about *this*
+``determinize`` rather than about a reimplementation that could drift
+(DESIGN.md §12).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Tuple, Union
 
 import numpy as np
 
 from ..sim.result import reports_to_array
 from .automaton import Network, StartKind
-from .symbolset import ALPHABET_SIZE
+from .symbolset import ALPHABET_SIZE, SymbolSet
 
-__all__ = ["DFA", "DeterminizeError", "determinize"]
+__all__ = [
+    "DFA",
+    "DeterminizeError",
+    "NetworkTables",
+    "alphabet_classes",
+    "class_representatives",
+    "determinize",
+    "flatten_network",
+]
 
 
 class DeterminizeError(RuntimeError):
     """Raised when subset construction exceeds the state cap."""
+
+
+@dataclass(frozen=True)
+class NetworkTables:
+    """A network flattened to per-global-state tables (determinization view).
+
+    ``successors[g]`` lists global successor ids; ``always`` is the set of
+    all-input start states (re-enabled on every transition); ``initial`` is
+    the subset-construction start set (both start kinds).
+    """
+
+    symbol_sets: Tuple[SymbolSet, ...]
+    successors: Tuple[Tuple[int, ...], ...]
+    reporting: Tuple[bool, ...]
+    eod: Tuple[bool, ...]
+    always: FrozenSet[int]
+    initial: FrozenSet[int]
+
+    @property
+    def n_states(self) -> int:
+        return len(self.symbol_sets)
+
+
+def flatten_network(network: Network) -> NetworkTables:
+    """Flatten a network into the tables subset construction walks."""
+    symbol_sets: List[SymbolSet] = []
+    successors: List[Tuple[int, ...]] = []
+    reporting: List[bool] = []
+    eod: List[bool] = []
+    always: List[int] = []
+    initial: List[int] = []
+    offsets = network.offsets()
+    for a_index, automaton in enumerate(network.automata):
+        base = offsets[a_index]
+        for state in automaton.states():
+            symbol_sets.append(state.symbol_set)
+            successors.append(tuple(base + d for d in automaton.successors(state.sid)))
+            reporting.append(state.reporting)
+            eod.append(state.eod)
+            if state.start is StartKind.ALL_INPUT:
+                always.append(base + state.sid)
+                initial.append(base + state.sid)
+            elif state.start is StartKind.START_OF_DATA:
+                initial.append(base + state.sid)
+    return NetworkTables(
+        symbol_sets=tuple(symbol_sets),
+        successors=tuple(successors),
+        reporting=tuple(reporting),
+        eod=tuple(eod),
+        always=frozenset(always),
+        initial=frozenset(initial),
+    )
+
+
+def alphabet_classes(network: Network) -> Tuple[np.ndarray, int]:
+    """Group symbols that every state in the network treats identically.
+
+    Returns ``(class_of, n_classes)`` where ``class_of[b]`` maps byte ``b``
+    to its equivalence-class index.  Two bytes share a class exactly when
+    no symbol-set in the network distinguishes them, so a transition table
+    needs one column per class rather than one per byte (CAMA's
+    observation: real rulesets use a few dozen classes, not 256).
+    """
+    classes: Dict[Tuple[bool, ...], int] = {}
+    class_of = np.zeros(ALPHABET_SIZE, dtype=np.int64)
+    distinct_sets = {state.symbol_set for _g, _a, state in network.global_states()}
+    ordered = sorted(distinct_sets, key=lambda symbol_set: symbol_set.mask)
+    for symbol in range(ALPHABET_SIZE):
+        signature = tuple(symbol_set.matches(symbol) for symbol_set in ordered)
+        if signature not in classes:
+            classes[signature] = len(classes)
+        class_of[symbol] = classes[signature]
+    return class_of, len(classes)
+
+
+def class_representatives(class_of: np.ndarray, n_classes: int) -> np.ndarray:
+    """One representative symbol per class (the smallest member)."""
+    representative = np.zeros(n_classes, dtype=np.int64)
+    for symbol in range(ALPHABET_SIZE - 1, -1, -1):
+        representative[int(class_of[symbol])] = symbol
+    return representative
 
 
 @dataclass
@@ -53,7 +151,7 @@ class DFA:
     def n_classes(self) -> int:
         return int(self.transitions.shape[1])
 
-    def run(self, input_data) -> np.ndarray:
+    def run(self, input_data: Union[bytes, bytearray, str]) -> np.ndarray:
         """Consume the input; return ``(position, nfa_state)`` reports."""
         if isinstance(input_data, str):
             input_data = input_data.encode("latin-1")
@@ -72,55 +170,21 @@ class DFA:
         return reports_to_array(out)
 
 
-def _alphabet_classes(network: Network) -> Tuple[np.ndarray, int]:
-    """Group symbols that every state in the network treats identically."""
-    classes: Dict[Tuple, int] = {}
-    class_of = np.zeros(ALPHABET_SIZE, dtype=np.int64)
-    distinct_sets = {state.symbol_set for _g, _a, state in network.global_states()}
-    ordered = sorted(distinct_sets, key=lambda symbol_set: symbol_set.mask)
-    for symbol in range(ALPHABET_SIZE):
-        signature = tuple(symbol_set.matches(symbol) for symbol_set in ordered)
-        if signature not in classes:
-            classes[signature] = len(classes)
-        class_of[symbol] = classes[signature]
-    return class_of, len(classes)
-
-
 def determinize(network: Network, *, max_states: int = 65536) -> DFA:
     """Subset construction over the whole network.
 
     Raises :class:`DeterminizeError` when more than ``max_states`` subset
     states are generated (the classic DFA blowup the AP avoids natively).
     """
-    class_of, n_classes = _alphabet_classes(network)
-    # Pick one representative symbol per class.
-    representative = np.zeros(n_classes, dtype=np.int64)
-    for symbol in range(ALPHABET_SIZE - 1, -1, -1):
-        representative[class_of[symbol]] = symbol
-
-    # Flatten network tables.
-    symbol_sets: List = []
-    successors: List[List[int]] = []
-    reporting: List[bool] = []
-    eod: List[bool] = []
-    always: List[int] = []
-    initial_set: List[int] = []
-    offsets = network.offsets()
-    for a_index, automaton in enumerate(network.automata):
-        base = offsets[a_index]
-        for state in automaton.states():
-            symbol_sets.append(state.symbol_set)
-            successors.append([base + d for d in automaton.successors(state.sid)])
-            reporting.append(state.reporting)
-            eod.append(state.eod)
-            if state.start is StartKind.ALL_INPUT:
-                always.append(base + state.sid)
-                initial_set.append(base + state.sid)
-            elif state.start is StartKind.START_OF_DATA:
-                initial_set.append(base + state.sid)
-
-    always_frozen = frozenset(always)
-    initial: FrozenSet[int] = frozenset(initial_set)
+    class_of, n_classes = alphabet_classes(network)
+    representative = class_representatives(class_of, n_classes)
+    tables = flatten_network(network)
+    symbol_sets = tables.symbol_sets
+    successors = tables.successors
+    reporting = tables.reporting
+    eod = tables.eod
+    always_frozen = tables.always
+    initial = tables.initial
 
     index_of: Dict[FrozenSet[int], int] = {initial: 0}
     worklist: List[FrozenSet[int]] = [initial]

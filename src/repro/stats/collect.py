@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..core.metrics import prediction_quality
-from .record import RunStats
+from .record import PartitionCostStats, RunStats
 
 if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
     from ..experiments.config import ExperimentConfig
@@ -68,6 +68,12 @@ def collect_run_stats(
     static_quality = prediction_quality(static.predicted_hot_mask, truth_mask)
     static_fraction = static.n_predicted_hot / n_states if n_states else 0.0
 
+    # Compilability/cost advisories (repro.cost, schema v3).  The fast
+    # static half only — the determinization differential stays in the
+    # cost-smoke CI gate and the CLI's --check.
+    cost = run.cost_outcome(fraction).cost
+    parent = cost.network
+
     return RunStats(
         app=run.spec.abbr,
         full_name=run.spec.full_name,
@@ -107,5 +113,23 @@ def collect_run_stats(
         spap_speedup=run.spap_speedup(fraction, ap),
         ap_cpu_speedup=run.ap_cpu_speedup(fraction, ap),
         resource_saving=run.resource_saving(fraction, ap),
+        cost_budget=cost.budget,
+        cost_n_classes=parent.classes.n_classes,
+        cost_table_bytes_dense=parent.classes.table_bytes_dense,
+        cost_table_bytes_classed=parent.classes.table_bytes_classed,
+        cost_class_compression_ratio=parent.classes.compression_ratio,
+        cost_dfa_safe_fraction=cost.dfa_safe_fraction,
+        cost_partitions=[
+            PartitionCostStats(
+                name=advisory.partition,
+                n_states=advisory.n_states,
+                n_classes=advisory.classes.n_classes,
+                dfa_safe=advisory.dfa_safe,
+                dfa_states=advisory.dfa_states,
+                recommended=advisory.recommended,
+                margin=advisory.margin,
+            )
+            for advisory in cost.advisories
+        ],
         stages=run.stats.spans(),
     )

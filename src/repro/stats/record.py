@@ -13,6 +13,9 @@ evaluation (§VI) is built from, previously scattered across
 * hot fraction and hot/cold prediction quality (Fig 1, Table I);
 * the profile-free static prediction and dead/never-reporting proofs
   (``repro.semant``), reported beside the profiled predictor;
+* the compilability/cost advisories (``repro.cost``): DFA-safety proofs,
+  symbol-class table compression, and the recommended backend per
+  partition (schema v3);
 * the speedup/resource-saving summary metrics (Fig 10);
 * per-stage wall-time spans from the pipeline's :class:`StageTimer`.
 
@@ -28,7 +31,36 @@ from typing import List, Optional
 from .recorder import Span
 from .schema import SCHEMA_VERSION
 
-__all__ = ["RunStats", "render_stats"]
+__all__ = ["PartitionCostStats", "RunStats", "render_stats"]
+
+
+@dataclass(frozen=True)
+class PartitionCostStats:
+    """One partition's backend advisory, flattened for the stats export.
+
+    A deliberately thin mirror of ``repro.cost.BackendAdvisory`` so this
+    module stays import-cycle-free (the cost subsystem itself times its
+    work through ``repro.stats``).
+    """
+
+    name: str  # "network", "hot", or "cold"
+    n_states: int
+    n_classes: int
+    dfa_safe: bool
+    dfa_states: Optional[int]  # proven subset-state count; None when unsafe
+    recommended: str  # cheapest feasible backend per the cost model
+    margin: float  # runner-up/winner predicted-cost ratio
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "n_states": self.n_states,
+            "n_classes": self.n_classes,
+            "dfa_safe": self.dfa_safe,
+            "dfa_states": self.dfa_states,
+            "recommended": self.recommended,
+            "margin": self.margin,
+        }
 
 
 @dataclass(frozen=True)
@@ -81,6 +113,14 @@ class RunStats:
     spap_speedup: float
     ap_cpu_speedup: float
     resource_saving: float
+    # compilability/cost analysis (repro.cost, schema v3)
+    cost_budget: int = 0
+    cost_n_classes: int = 0
+    cost_table_bytes_dense: int = 0
+    cost_table_bytes_classed: int = 0
+    cost_class_compression_ratio: float = 1.0
+    cost_dfa_safe_fraction: float = 0.0
+    cost_partitions: List[PartitionCostStats] = field(default_factory=list)
     # pipeline stage timings
     stages: List[Span] = field(default_factory=list)
 
@@ -142,6 +182,15 @@ class RunStats:
                 "ap_cpu": self.ap_cpu_speedup,
                 "resource_saving": self.resource_saving,
             },
+            "cost": {
+                "budget": self.cost_budget,
+                "n_classes": self.cost_n_classes,
+                "table_bytes_dense": self.cost_table_bytes_dense,
+                "table_bytes_classed": self.cost_table_bytes_classed,
+                "class_compression_ratio": self.cost_class_compression_ratio,
+                "dfa_safe_fraction": self.cost_dfa_safe_fraction,
+                "partitions": [p.to_json() for p in self.cost_partitions],
+            },
             "stages": [span.to_json() for span in self.stages],
         }
 
@@ -181,6 +230,17 @@ def render_stats(stats: RunStats) -> str:
         f"AP-CPU {stats.ap_cpu_speedup:.2f}x, "
         f"resources saved {100 * stats.resource_saving:.1f}%",
     ]
+    if stats.cost_partitions:
+        verdicts = ", ".join(
+            f"{p.name} {'DFA<=' + str(p.dfa_states) if p.dfa_safe else 'NFA-only'}"
+            f"->{p.recommended}"
+            for p in stats.cost_partitions
+        )
+        lines.append(
+            f"  cost        : {stats.cost_n_classes} classes "
+            f"({stats.cost_class_compression_ratio:.1f}x table compression), "
+            f"budget {stats.cost_budget}; {verdicts}"
+        )
     if stats.stages:
         spans = "  ".join(
             f"{span.name} {span.seconds * 1e3:.1f}ms/{span.calls}" for span in stats.stages

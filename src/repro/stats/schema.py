@@ -17,6 +17,8 @@ __all__ = [
     "SERVE_SCHEMA_VERSION",
     "SPAN_SCHEMA",
     "STATS_SCHEMA",
+    "STATS_SCHEMA_V2",
+    "SUPPORTED_STATS_VERSIONS",
     "SchemaError",
     "validate_serve_stats",
     "validate_spans",
@@ -26,7 +28,9 @@ __all__ = [
 
 #: Bump on any backwards-incompatible change to the exported document shape.
 #: v2: added the ``semant`` section (static prediction + dead-state proofs).
-SCHEMA_VERSION = 2
+#: v3: added the ``cost`` section (DFA-safety proofs, symbol-class
+#: accounting, per-partition backend advisories — ``repro.cost``).
+SCHEMA_VERSION = 3
 
 #: Bump on any backwards-incompatible change to the match server's exported
 #: statistics document (``repro.serve``).
@@ -94,8 +98,38 @@ STATS_SCHEMA = {
         "ap_cpu": "number",
         "resource_saving": "number",
     },
+    "cost": {
+        "budget": "int",
+        "n_classes": "int",
+        "table_bytes_dense": "int",
+        "table_bytes_classed": "int",
+        "class_compression_ratio": "number",
+        "dfa_safe_fraction": "number",
+        "partitions": (
+            "array",
+            {
+                "name": "str",
+                "n_states": "int",
+                "n_classes": "int",
+                "dfa_safe": "bool",
+                "dfa_states": "int?",
+                "recommended": "str",
+                "margin": "number",
+            },
+        ),
+    },
     "stages": ("array", SPAN_SCHEMA),
 }
+
+#: The v2 document shape (everything above minus the ``cost`` section);
+#: kept so archived v2 exports still validate strictly under their own
+#: version instead of failing with a missing-section error.
+STATS_SCHEMA_V2 = {key: spec for key, spec in STATS_SCHEMA.items() if key != "cost"}
+
+#: Versions :func:`validate_stats` accepts, newest first.
+SUPPORTED_STATS_VERSIONS = (3, 2)
+
+_SCHEMA_BY_VERSION = {3: STATS_SCHEMA, 2: STATS_SCHEMA_V2}
 
 #: The match server's statistics document (``repro.serve``): configuration
 #: echo, request/reply/error counters, micro-batch shape, and the server's
@@ -180,17 +214,21 @@ def validate_stats(document: dict) -> None:
     """Validate one exported stats object; raises :class:`SchemaError`.
 
     Version-checks first so a future producer fails with "unsupported
-    version" rather than a wall of field errors.
+    version" rather than a wall of field errors.  Each supported version is
+    validated against its own shape: a v2 document must not carry the v3
+    ``cost`` section, and a v3 document must.
     """
     if not isinstance(document, dict):
         raise SchemaError(f"stats document must be an object, got {type(document).__name__}")
     version = document.get("schema_version")
-    if version != SCHEMA_VERSION:
+    schema = _SCHEMA_BY_VERSION.get(version) if isinstance(version, int) else None
+    if schema is None:
         raise SchemaError(
-            f"unsupported stats schema_version {version!r} (expected {SCHEMA_VERSION})"
+            f"unsupported stats schema_version {version!r} "
+            f"(supported: {', '.join(str(v) for v in SUPPORTED_STATS_VERSIONS)})"
         )
     problems: List[str] = []
-    _check(document, STATS_SCHEMA, "$", problems)
+    _check(document, schema, "$", problems)
     if problems:
         raise SchemaError(
             f"{len(problems)} schema violation(s): " + "; ".join(problems[:20])

@@ -315,6 +315,64 @@ RULES: Dict[str, Rule] = _rules(
         "classify these states differently; large disagreement means the "
         "profiling prefix is unrepresentative or the depth model is off",
     ),
+    # -- compilability & cost advisories (repro.cost) --------------------------
+    Rule(
+        "SPAP-C001",
+        "DFA-safety proof contradicted by determinization",
+        Severity.ERROR,
+        "§VIII",
+        "the budgeted explorer claims to walk exactly the transition "
+        "function determinize materializes; a count mismatch, an "
+        "unexpected DeterminizeError, or a replay divergence against the "
+        "reference simulator means the analysis is unsound — file a bug "
+        "against repro.cost.explore",
+    ),
+    Rule(
+        "SPAP-C002",
+        "subset-construction budget exceeded",
+        Severity.INFO,
+        "§VIII",
+        "informational: the partition is not provably DFA-safe at this "
+        "budget; the message records the growth frontier (subsets "
+        "discovered, BFS depth, largest subset) — keep the NFA backend or "
+        "raise --budget",
+    ),
+    Rule(
+        "SPAP-C003",
+        "symbol-class compression ineffective",
+        Severity.INFO,
+        "§VIII",
+        "informational: the partition distinguishes most of the 8-bit "
+        "alphabet, so class-compressed tables barely shrink; a "
+        "class-indexed backend buys little here",
+    ),
+    Rule(
+        "SPAP-C004",
+        "DFA table exceeds the memory budget despite a safety proof",
+        Severity.WARNING,
+        "§VIII",
+        "subset construction is bounded but states x classes x 8 bytes "
+        "does not fit the table budget; advise an NFA backend or raise "
+        "DFA_TABLE_BUDGET deliberately",
+    ),
+    Rule(
+        "SPAP-C005",
+        "backend advisory margin is thin",
+        Severity.INFO,
+        "§VI",
+        "informational: the two cheapest backends are predicted within "
+        "the noise margin of each other; treat the recommendation as a "
+        "tie and let measurement decide",
+    ),
+    Rule(
+        "SPAP-C006",
+        "cost model produced a non-finite or negative cost",
+        Severity.ERROR,
+        "§VI",
+        "every feasible backend must get a finite non-negative predicted "
+        "cost; a NaN/inf/negative value means the features or the "
+        "calibration are corrupt — file a bug against repro.cost.model",
+    ),
 )
 
 

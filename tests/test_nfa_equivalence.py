@@ -13,9 +13,16 @@ import random
 import numpy as np
 from hypothesis import assume, given, settings
 
+from repro.cost.explore import explore_subset_construction
 from repro.nfa.automaton import Network, StartKind
 from repro.nfa.build import literal_chain
-from repro.nfa.determinize import DeterminizeError, determinize
+from repro.nfa.determinize import (
+    DeterminizeError,
+    alphabet_classes,
+    class_representatives,
+    determinize,
+    flatten_network,
+)
 from repro.nfa.transforms import duplicate_network, merge_common_prefixes
 from repro.sim.reference import reference_run
 from repro.sim.result import reports_equal
@@ -75,6 +82,55 @@ class TestDeterminizeVsReference:
         network = _patterns_net(b"ab")
         dfa = determinize(network)
         assert reports_equal(dfa.run(b""), reference_run(network, b"").reports)
+
+
+class TestDeterminizeHelpers:
+    """The flattened tables and alphabet classes ``determinize`` and the
+    budgeted explorer (``repro.cost.explore``) now share."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_alphabet_classes_are_a_partition(self, seed):
+        rng = random.Random(seed)
+        network = _small_network(rng)
+        class_of, n_classes = alphabet_classes(network)
+        assert class_of.shape == (256,)
+        assert sorted(set(int(c) for c in class_of)) == list(range(n_classes))
+        representative = class_representatives(class_of, n_classes)
+        for cls in range(n_classes):
+            assert class_of[representative[cls]] == cls
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_class_members_are_indistinguishable(self, seed):
+        """No symbol-set in the network separates two symbols of one class."""
+        rng = random.Random(seed)
+        network = _small_network(rng)
+        class_of, n_classes = alphabet_classes(network)
+        tables = flatten_network(network)
+        representative = class_representatives(class_of, n_classes)
+        for symbol in range(0, 256, 7):  # a sample is plenty
+            twin = int(representative[class_of[symbol]])
+            for symbol_set in tables.symbol_sets:
+                assert symbol_set.matches(symbol) == symbol_set.matches(twin)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_explorer_verdict_is_order_independent_of_determinize(self, seed):
+        """The BFS explorer and determinize's insertion-order walk must agree
+        exactly: same safe/unsafe verdict at the same budget, and on safe
+        networks the same subset-state count (DESIGN.md §12 soundness)."""
+        rng = random.Random(seed)
+        network = _small_network(rng)
+        budget = rng.randint(1, _DFA_STATE_CAP)
+        outcome = explore_subset_construction(network, budget=budget)
+        try:
+            dfa = determinize(network, max_states=budget)
+        except DeterminizeError:
+            assert not outcome.dfa_safe
+        else:
+            assert outcome.dfa_safe
+            assert dfa.n_states == outcome.n_subset_states
 
 
 class TestDuplicateVsReference:

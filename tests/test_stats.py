@@ -121,6 +121,38 @@ class TestSchema:
         with pytest.raises(SchemaError, match="refills"):
             validate_stats(document)
 
+    def test_v3_document_carries_cost_section(self, bro_stats):
+        document = bro_stats.to_json()
+        assert document["schema_version"] == 3
+        cost = document["cost"]
+        assert cost["budget"] > 0 and cost["n_classes"] >= 1
+        assert cost["table_bytes_dense"] >= cost["table_bytes_classed"] > 0
+        names = [p["name"] for p in cost["partitions"]]
+        assert "network" in names
+        for partition in cost["partitions"]:
+            assert partition["recommended"]
+            assert (partition["dfa_states"] is None) == (not partition["dfa_safe"])
+
+    def test_v3_document_missing_cost_rejected(self, bro_stats):
+        document = bro_stats.to_json()
+        del document["cost"]
+        with pytest.raises(SchemaError, match="cost"):
+            validate_stats(document)
+
+    def test_v2_document_validates_under_v2(self, bro_stats):
+        """Archived pre-cost exports must keep validating under their own
+        version — the schema dispatch, not a compatibility shim."""
+        document = bro_stats.to_json()
+        del document["cost"]
+        document["schema_version"] = 2
+        validate_stats(document)
+
+    def test_v2_document_with_cost_rejected(self, bro_stats):
+        document = bro_stats.to_json()
+        document["schema_version"] = 2
+        with pytest.raises(SchemaError, match="cost"):
+            validate_stats(document)
+
     def test_array_export(self, bro_stats):
         document = bro_stats.to_json()
         assert validate_stats_json([document, document]) == 2
@@ -160,6 +192,7 @@ class TestCollect:
         assert "Bro217" in text
         assert "queue refills" in text
         assert "stages" in text
+        assert "cost" in text and "classes" in text
 
     def test_no_stats_env_empties_stages_only(self, small_config, monkeypatch):
         monkeypatch.setenv("REPRO_NO_STATS", "1")
@@ -182,8 +215,22 @@ class TestSweepStats:
     def test_render_has_stats_columns(self, small_config):
         rows = run_sweep(["Bro217", "LV"], small_config, jobs=1)
         table = render_sweep(rows)
-        for header in ("Stalls", "IRs", "Refills", "PredAcc"):
+        for header in ("Stalls", "IRs", "Refills", "PredAcc", "Classes", "Backend"):
             assert header in table
+
+    def test_rows_carry_cost_columns(self, small_config):
+        (row,) = run_sweep(["Bro217"], small_config, jobs=1)
+        assert row.n_classes >= 1
+        assert row.backend in ("reference", "bitpacked", "multistream", "dfa")
+        assert isinstance(row.dfa_safe, bool)
+
+    def test_summary_cost_aggregates(self, small_config):
+        rows = run_sweep(["Bro217", "LV"], small_config, jobs=1)
+        summary = sweep_summary(rows)
+        assert summary["mean_class_count"] == pytest.approx(
+            (rows[0].n_classes + rows[1].n_classes) / 2
+        )
+        assert 0.0 <= summary["fraction_dfa_safe"] <= 1.0
 
     def test_summary_geomeans(self, small_config):
         rows = run_sweep(["Bro217", "LV"], small_config, jobs=1)
