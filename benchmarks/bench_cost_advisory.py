@@ -2,18 +2,17 @@
 
 The analytic cost model (``repro.cost.model``) prices every engine backend
 from static features alone; its one falsifiable claim is that the *ordering*
-it predicts matches reality.  This harness measures the three live backends
-(reference, bitpacked, multistream) on each application's parent network and
-checks that the model's predicted-fastest among those backends is the
+it predicts matches reality.  This harness measures the live backends
+(reference, bitpacked, multistream, and — on DFA-safe networks — the
+table-driven dfa engine) on each application's parent network and checks
+that the model's predicted-fastest among the backends measured is the
 measured-fastest, per application::
 
     PYTHONPATH=src python benchmarks/bench_cost_advisory.py          # write BENCH_cost.json
     PYTHONPATH=src python benchmarks/bench_cost_advisory.py --check  # CI smoke assertion
 
 ``--check`` re-measures and asserts the agreement fraction stays at or above
-``MIN_AGREEMENT`` (an acceptance criterion: >= 80% of the swept apps).  The
-DFA backend is excluded — it does not exist yet; this model is the analysis
-that justifies building it (ROADMAP: raw engine speed).
+``MIN_AGREEMENT`` (an acceptance criterion: >= 80% of the swept apps).
 """
 
 import argparse
@@ -25,15 +24,24 @@ from pathlib import Path
 import pytest
 
 from repro.cost import advise_network, rank_backends
-from repro.sim import compile_network, reference_run, run, run_multi
+from repro.sim import (
+    compile_dfa,
+    compile_network,
+    dfa_feasible,
+    dfa_run,
+    reference_run,
+    run,
+    run_multi,
+)
 from repro.workloads.registry import get_app
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cost.json"
 #: The CI family spread (regex, IDS, Hamming, Levenshtein, start-of-data).
 APPS = ("Bro217", "Snort", "ER", "HM", "LV", "SPM", "Fermi", "CAV")
 SCALE, INPUT_LEN, K_STREAMS = 64, 2048, 8
-#: Backends with a live engine to measure against.
-MEASURED_BACKENDS = ("reference", "bitpacked", "multistream")
+#: Backends with a live engine to measure against ("dfa" only where the
+#: network is DFA-safe within the default budgets).
+MEASURED_BACKENDS = ("reference", "bitpacked", "multistream", "dfa")
 #: Acceptance floor: the model must pick the measured winner on at least
 #: this fraction of the swept applications.
 MIN_AGREEMENT = 0.8
@@ -78,10 +86,16 @@ def _measure_app(abbr, repeats=3):
             n * K_STREAMS, repeats,
         ),
     }
+    if dfa_feasible(network):
+        dfa = compile_dfa(network)
+        dfa_run(dfa, data)  # warm the lazy flat-table build
+        measured["dfa"] = _us_per_byte(lambda: dfa_run(dfa, data), n, repeats)
     advisory = advise_network(network, horizon=INPUT_LEN, n_streams=K_STREAMS)
+    # Compare over the backends actually measured, so an app without a
+    # feasible DFA still scores the three-way ordering.
     predicted = {
         name: cost for name, cost in advisory.costs.items()
-        if name in MEASURED_BACKENDS and cost is not None
+        if name in measured and cost is not None
     }
     predicted_best = rank_backends(predicted)[0][0]
     measured_best = min(measured, key=measured.get)

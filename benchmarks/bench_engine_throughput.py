@@ -9,13 +9,21 @@ Run directly, this module is the benchmark-trajectory harness::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # write BENCH_engine.json
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --check  # CI smoke assertion
 
-The harness measures MB/s for the four engines (reference, bit-packed,
-matrix, multi-stream) on the standard workload and records the *speedup
-ratios* against a live re-run of the seed hot loop (``_seed_run`` below, a
-verbatim copy of the pre-optimization engine).  Ratios of two measurements
-taken on the same machine moments apart are machine-independent, so
-``--check`` can compare today's ratio against the committed one without
-caring how fast the CI runner is.  See DESIGN.md §"Benchmark trajectory".
+The harness measures MB/s for the five engines (reference, bit-packed,
+matrix, multi-stream, table-driven DFA) on the standard workload — Snort
+at scale 64 is DFA-safe, so the same workload carries the ``dfa``
+measurement — and records the *speedup ratios* against a live re-run of
+the seed hot loop (``_seed_run`` below, a verbatim copy of the
+pre-optimization engine).  Ratios of two measurements taken on the same
+machine moments apart are machine-independent, so ``--check`` can compare
+today's ratio against the committed one without caring how fast the CI
+runner is.  See DESIGN.md §"Benchmark trajectory".
+
+Every run rewrites the *entire* document — including the full ``workload``
+block — from live measurement; nothing is merged into a previously
+committed file, so no field can go stale when a new engine column is
+added.  :func:`validate_engine_bench` pins the full document shape and is
+applied both before writing and to the committed document in ``--check``.
 """
 
 import argparse
@@ -29,7 +37,9 @@ import pytest
 
 from repro import bitops
 from repro.sim import (
+    compile_dfa,
     compile_network,
+    dfa_run,
     matrix_compile,
     matrix_run,
     reference_run,
@@ -51,6 +61,50 @@ TOLERANCE = 0.5
 #: Hard floors from the acceptance criteria, enforced regardless of drift.
 MIN_BITPACKED_VS_SEED = 1.5
 MIN_MULTISTREAM_VS_K_SCALAR = 1.0
+MIN_DFA_VS_BITPACKED = 10.0
+
+#: Full document shape: every key the harness writes, pinned so a partial
+#: merge (stale workload metadata, missing engine column) cannot validate.
+_WORKLOAD_KEYS = ("app", "scale", "input_len", "n_states", "k_streams",
+                  "dfa_states", "dfa_classes", "dfa_table_bytes")
+_THROUGHPUT_KEYS = ("seed_scalar", "reference", "bitpacked", "matrix",
+                    "k_scalar_aggregate", "multistream_aggregate", "dfa")
+_SPEEDUP_KEYS = ("bitpacked_vs_seed", "matrix_vs_seed",
+                 "multistream_vs_k_scalar", "dfa_vs_bitpacked")
+
+
+def validate_engine_bench(document):
+    """Assert a BENCH_engine.json document is complete and self-consistent.
+
+    Used on the live document before every write *and* on the committed
+    document in ``--check`` — the same validator in both places, so CI
+    fails loudly on a stale or hand-mangled file rather than silently
+    comparing against garbage.  Returns the document for chaining.
+    """
+    for section, keys in [("workload", _WORKLOAD_KEYS),
+                          ("throughput_mb_s", _THROUGHPUT_KEYS),
+                          ("speedup", _SPEEDUP_KEYS)]:
+        block = document.get(section)
+        if not isinstance(block, dict):
+            raise ValueError(f"engine bench document missing {section!r}")
+        missing = [key for key in keys if key not in block]
+        extra = [key for key in block if key not in keys]
+        if missing or extra:
+            raise ValueError(
+                f"{section} keys drifted: missing {missing}, unexpected {extra}"
+            )
+    if not isinstance(document.get("reports_identical_across_engines"), bool):
+        raise ValueError("missing reports_identical_across_engines flag")
+    workload = document["workload"]
+    if workload["app"] != APP or workload["scale"] != SCALE:
+        raise ValueError(
+            f"workload block is stale: {workload['app']}@{workload['scale']} "
+            f"recorded, harness runs {APP}@{SCALE}"
+        )
+    for key in _THROUGHPUT_KEYS:
+        if not float(document["throughput_mb_s"][key]) > 0:
+            raise ValueError(f"non-positive throughput for {key}")
+    return document
 
 
 @pytest.fixture(scope="module")
@@ -145,6 +199,10 @@ def collect_metrics(repeats=3, timer=None):
         data = spec.make_input(network, INPUT_LEN)
     n = len(data)
     streams = [data] * K_STREAMS
+    with timer.stage("compile_dfa"):
+        # Snort at scale 64 is DFA-safe within the default budgets, so the
+        # standard workload carries the dfa measurement directly.
+        dfa = compile_dfa(network)
 
     with timer.stage("equivalence"):
         seed_result = _seed_run(compiled, data)
@@ -152,9 +210,11 @@ def collect_metrics(repeats=3, timer=None):
         reference_result = reference_run(network, data)
         matrix_result = matrix_run(matrix_compile(network), data)
         multi_results = run_multi(compiled, streams, track_enabled=False)
+        dfa_result = dfa_run(dfa, data)
         identical = all(
             reports_equal(fast_result.reports, other)
-            for other in [seed_result, reference_result.reports, matrix_result.reports]
+            for other in [seed_result, reference_result.reports,
+                          matrix_result.reports, dfa_result.reports]
             + [r.reports for r in multi_results]
         )
 
@@ -179,7 +239,13 @@ def collect_metrics(repeats=3, timer=None):
             lambda: run_multi(compiled, streams, track_enabled=False),
             n * K_STREAMS, repeats,
         )
+    with timer.stage("measure_dfa"):
+        dfa_run(dfa, data)  # warm the lazy flat-table build out of the timing
+        dfa_mb_s = _mb_per_s(lambda: dfa_run(dfa, data), n, repeats)
 
+    # The workload block is rebuilt wholesale from this run's live objects
+    # (never merged with a committed document), so adding an engine can't
+    # leave stale metadata behind.
     return {
         "workload": {
             "app": APP,
@@ -187,6 +253,9 @@ def collect_metrics(repeats=3, timer=None):
             "input_len": n,
             "n_states": compiled.n_states,
             "k_streams": K_STREAMS,
+            "dfa_states": dfa.n_states,
+            "dfa_classes": dfa.n_classes,
+            "dfa_table_bytes": dfa.table_bytes,
         },
         "throughput_mb_s": {
             "seed_scalar": round(seed, 3),
@@ -195,11 +264,13 @@ def collect_metrics(repeats=3, timer=None):
             "matrix": round(matrix, 3),
             "k_scalar_aggregate": round(k_scalar, 3),
             "multistream_aggregate": round(multistream, 3),
+            "dfa": round(dfa_mb_s, 3),
         },
         "speedup": {
             "bitpacked_vs_seed": round(bitpacked / seed, 3),
             "matrix_vs_seed": round(matrix / seed, 3),
             "multistream_vs_k_scalar": round(multistream / k_scalar, 3),
+            "dfa_vs_bitpacked": round(dfa_mb_s / bitpacked, 3),
         },
         "reports_identical_across_engines": identical,
     }
@@ -213,6 +284,7 @@ def _check(recorded, live):
     for key, floor in [
         ("bitpacked_vs_seed", MIN_BITPACKED_VS_SEED),
         ("multistream_vs_k_scalar", MIN_MULTISTREAM_VS_K_SCALAR),
+        ("dfa_vs_bitpacked", MIN_DFA_VS_BITPACKED),
     ]:
         old = recorded["speedup"][key]
         new = live["speedup"][key]
@@ -236,6 +308,9 @@ def main(argv=None):
 
     timer = StageTimer()
     live = collect_metrics(repeats=args.repeats, timer=timer)
+    # The document must round-trip through the same validator CI applies
+    # to the committed file — catching shape drift at write time.
+    validate_engine_bench(json.loads(json.dumps(live)))
     print(json.dumps(live, indent=2))
     if not args.check:
         BENCH_PATH.write_text(json.dumps(live, indent=2) + "\n")
@@ -256,6 +331,12 @@ def main(argv=None):
         return 0
 
     recorded = json.loads(BENCH_PATH.read_text())
+    try:
+        validate_engine_bench(recorded)
+    except ValueError as err:
+        print(f"FAIL: committed {BENCH_PATH.name} invalid: {err}",
+              file=sys.stderr)
+        return 1
     failures = _check(recorded, live)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -38,6 +38,9 @@ or figure names exit with status 2 and a "did you mean" suggestion;
 severity fires.
 ``--no-verify`` on the experiment commands disables the pipeline's
 fail-fast invariant checks (see ``repro.verify``).
+``--backend NAME|auto`` on ``run-app``, ``sweep``, and ``serve`` selects
+the execution engine per DESIGN.md §13 (``auto`` follows the cost
+advisory, with multistream fallback when the choice is infeasible).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ import sys
 from dataclasses import replace
 from typing import Iterable, List, Optional
 
+from .cost.model import BACKENDS as _BACKEND_CHOICES
 from .experiments import default_config
 from .experiments import figures as _figures
 from .experiments.config import ExperimentConfig
@@ -138,6 +142,21 @@ def _cmd_run_app(args) -> int:
           f"-> {baseline.cycles / spap.cycles:.2f}x")
     print(f"  AP-CPU      : {1e6 * cpu.cpu_seconds:.1f} us handler "
           f"-> {baseline.seconds(ap) / cpu.seconds(ap):.2f}x")
+    if args.backend is not None:
+        import time as _time
+
+        name, engine = run.select_backend(args.backend, args.profile)
+        prepared = run.prepared_for(name)
+        data = run.test_input
+        engine.run(prepared, data)  # warm lazy tables/dispatch paths
+        began = _time.perf_counter()
+        result = engine.run(prepared, data)
+        elapsed = _time.perf_counter() - began
+        mb_s = len(data) / elapsed / 1e6 if elapsed > 0 else 0.0
+        note = "" if name == args.backend or args.backend == "auto" \
+            else f" (requested {args.backend}, infeasible)"
+        print(f"  backend     : {name}{note} -> {mb_s:.2f} MB/s, "
+              f"{result.reports.shape[0]} reports")
     return 0
 
 
@@ -171,7 +190,8 @@ def _cmd_sweep(args) -> int:
     began = _time.perf_counter()
     try:
         rows = run_sweep(targets, _config_for(args),
-                         fraction=args.profile, jobs=args.jobs)
+                         fraction=args.profile, jobs=args.jobs,
+                         backend=args.backend)
     except SweepError as err:
         print(f"sweep failed at {err} (other applications were not run to "
               "completion; --no-verify skips the fail-fast checks)",
@@ -360,6 +380,7 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue_depth, workers=args.workers,
         max_apps=args.max_apps, warmup=not args.no_warmup,
         allow_shutdown=not args.no_remote_shutdown,
+        backend=args.backend,
     )
 
     async def _serve() -> None:
@@ -455,6 +476,12 @@ def main(argv: Optional[list] = None) -> int:
                             help="profiling fraction (default 0.01)")
     run_parser.add_argument("--no-verify", action="store_true",
                             help="skip fail-fast partition/batch verification")
+    run_parser.add_argument("--backend", default=None, metavar="NAME",
+                            choices=["auto"] + list(_BACKEND_CHOICES),
+                            help="also execute the test input on an engine: "
+                                 "'auto' follows the cost advisory; an "
+                                 "explicit name forces it (multistream "
+                                 "fallback when infeasible)")
 
     figure_parser = sub.add_parser("figure", help="regenerate one table/figure")
     figure_parser.add_argument("name", help=f"one of: {', '.join(_FIGURES)}")
@@ -480,6 +507,12 @@ def main(argv: Optional[list] = None) -> int:
                               help="emit JSON rows instead of a table")
     sweep_parser.add_argument("--no-verify", action="store_true",
                               help="skip fail-fast partition/batch verification")
+    sweep_parser.add_argument("--backend", default=None, metavar="NAME",
+                              choices=["auto"] + list(_BACKEND_CHOICES),
+                              help="execute each app's test input on an "
+                                   "engine: 'auto' selects per-app from the "
+                                   "cost advisory; the Backend/MB/s columns "
+                                   "then show the engine actually used")
 
     stats_parser = sub.add_parser(
         "stats",
@@ -578,6 +611,11 @@ def main(argv: Optional[list] = None) -> int:
                               help="engine executor threads (default 2)")
     serve_parser.add_argument("--max-apps", type=int, default=8,
                               help="compiled networks kept resident (LRU)")
+    serve_parser.add_argument("--backend", default="multistream",
+                              choices=["multistream", "dfa", "auto"],
+                              help="batch engine: multistream (default), "
+                                   "dfa (where feasible), or auto "
+                                   "(per-app cost advisory)")
     serve_parser.add_argument("--no-warmup", action="store_true",
                               help="skip compiling --apps before binding")
     serve_parser.add_argument("--no-remote-shutdown", action="store_true",

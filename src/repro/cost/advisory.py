@@ -37,6 +37,7 @@ from .model import (
     CostFeatures,
     CostModel,
     DEFAULT_COST_MODEL,
+    dfa_entry_bytes,
     rank_backends,
 )
 
@@ -204,7 +205,9 @@ def emit_advisory_diagnostics(
             location=where,
         )
     table_bytes = (
-        advisory.dfa_states * advisory.classes.n_classes * 8
+        advisory.dfa_states
+        * advisory.classes.n_classes
+        * dfa_entry_bytes(advisory.dfa_states)
         if advisory.dfa_states is not None
         else None
     )
@@ -212,7 +215,9 @@ def emit_advisory_diagnostics(
         report.emit(
             "SPAP-C004",
             f"DFA proven safe ({advisory.dfa_states} states) but its table "
-            f"needs {table_bytes} B > budget {DFA_TABLE_BUDGET} B",
+            f"needs {table_bytes} B "
+            f"({dfa_entry_bytes(advisory.dfa_states)}-byte entries) "
+            f"> budget {DFA_TABLE_BUDGET} B",
             location=where,
         )
     if advisory.margin < THIN_MARGIN and advisory.margin > 0:

@@ -25,18 +25,22 @@ will make selectable per partition):
 Calibration (DESIGN.md §12): the default coefficients are solved from the
 committed ``BENCH_engine.json`` operating point — Snort at scale 64,
 1081 states (17 words), K=8 — whose measured throughputs are
-0.062 / 0.213 / 0.405 MB/s for reference / bitpacked / multistream
-(16.1 / 4.69 / 2.47 us per symbol).  :meth:`CostModel.from_engine_bench`
-re-derives them from any such document, so re-benching recalibrates the
-model without touching code.  Units are microseconds per input symbol;
-only *ratios* matter for the advisory, which is what the cost-smoke CI
-check validates (predicted-fastest vs measured-fastest agreement).
+0.061 / 0.204 / 0.371 / 12.76 MB/s for reference / bitpacked /
+multistream / dfa (16.4 / 4.90 / 2.70 / 0.078 us per symbol).
+:meth:`CostModel.from_engine_bench` re-derives them from any such
+document, so re-benching recalibrates the model without touching code —
+including ``dfa_base``, measured from the table-driven backend itself
+since it landed.  Units are microseconds per input symbol; only *ratios*
+matter for the advisory, which is what the cost-smoke CI check validates
+(predicted-fastest vs measured-fastest agreement).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
+
+from ..nfa.symbolset import ALPHABET_SIZE
 
 __all__ = [
     "BACKENDS",
@@ -45,6 +49,7 @@ __all__ = [
     "CostFeatures",
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "dfa_entry_bytes",
     "rank_backends",
 ]
 
@@ -56,8 +61,21 @@ STREAMING_BACKENDS: Tuple[str, ...] = ("multistream", "dfa")
 
 #: Memory budget for a materialized DFA transition table (bytes).  A safe
 #: subset count whose table would still exceed this is advised against
-#: (SPAP-C004): ``states * classes * 8`` must fit cache-adjacent memory.
+#: (SPAP-C004): the dtype-priced table (:func:`dfa_entry_bytes`) must fit
+#: cache-adjacent memory.
 DFA_TABLE_BUDGET = 32 << 20
+
+
+def dfa_entry_bytes(n_dfa_states: int) -> int:
+    """Bytes per transition-table entry for a DFA of ``n_dfa_states``.
+
+    The executor (:func:`repro.sim.dfa.dfa_table_dtype`) packs successor
+    ids as uint16 when they fit, uint32 otherwise; this is the same ladder
+    expressed as a byte count so feasibility can be priced *before* any
+    table is built.  The two must stay in lock-step — pinned by a
+    cross-check in ``tests/test_dfa_backend.py``.
+    """
+    return 2 if n_dfa_states <= 0xFFFF else 4
 
 # Word-work share of bitpacked cost at the calibration point: the fraction
 # of a cycle spent on width-proportional NumPy word ops (vs fixed Python
@@ -86,10 +104,31 @@ class CostFeatures:
 
     @property
     def dfa_table_bytes(self) -> Optional[int]:
-        """Transition-table footprint of the proven DFA (8-byte entries)."""
+        """Conservative pre-build estimate: 8-byte entries.
+
+        Deliberately pessimistic (the widest plausible entry) so it can be
+        quoted before any dtype decision exists; the feasibility gate uses
+        :attr:`dfa_table_bytes_actual` instead, so a DFA is never rejected
+        on the basis of this over-estimate.
+        """
         if self.dfa_states is None:
             return None
         return self.dfa_states * self.n_classes * 8
+
+    @property
+    def dfa_table_bytes_actual(self) -> Optional[int]:
+        """Footprint with the dtype the executor would really pick.
+
+        ``states * classes * dfa_entry_bytes(states)`` plus the symbol→
+        class translation vector — the exact bytes
+        ``repro.sim.dfa.CompiledDFA.table_bytes`` reports after the build.
+        """
+        if self.dfa_states is None:
+            return None
+        return (
+            self.dfa_states * self.n_classes * dfa_entry_bytes(self.dfa_states)
+            + ALPHABET_SIZE
+        )
 
 
 @dataclass(frozen=True)
@@ -117,7 +156,7 @@ class CostModel:
             costs["multistream"] = (
                 self.bp_base / k + self.ms_per_word * features.n_words
             )
-            table_bytes = features.dfa_table_bytes
+            table_bytes = features.dfa_table_bytes_actual
             if (
                 features.dfa_safe
                 and table_bytes is not None
@@ -132,14 +171,17 @@ class CostModel:
         document: Mapping[str, object],
         *,
         active_fraction: float = _CAL_ACTIVE_FRACTION,
-        dfa_base: float = 0.7,
+        dfa_base: Optional[float] = None,
     ) -> "CostModel":
         """Solve coefficients from a ``BENCH_engine.json``-shaped document.
 
         Uses the document's workload shape (states, k_streams) and measured
         MB/s, under the documented word-work-share assumption.  ``dfa_base``
-        stays an input: the bench harness does not time a DFA backend (it
-        does not exist yet — this model is its justification).
+        is taken from the document's measured ``throughput_mb_s["dfa"]``
+        when present (the harness times the real table-driven backend on
+        the same workload); an explicit argument overrides, and documents
+        predating the backend fall back to the historical 0.7 us/symbol
+        placeholder.
         """
         workload = document["workload"]
         throughput = document["throughput_mb_s"]
@@ -155,6 +197,9 @@ class CostModel:
         ref_us = us_per_symbol(throughput["reference"])
         bp_us = us_per_symbol(throughput["bitpacked"])
         ms_us = us_per_symbol(throughput["multistream_aggregate"])
+        if dfa_base is None:
+            measured_dfa = throughput.get("dfa")
+            dfa_base = us_per_symbol(measured_dfa) if measured_dfa else 0.7
 
         bp_per_word = bp_us * _WORD_WORK_SHARE / n_words
         bp_base = bp_us - bp_per_word * n_words
@@ -175,13 +220,15 @@ class CostModel:
 #: Coefficients solved by :meth:`CostModel.from_engine_bench` from the
 #: committed BENCH_engine.json (Snort, scale 64, 1081 states, K=8); baked
 #: as literals so importing the model never reads the filesystem.
+#: ``dfa_base`` is now a *measurement* (1 / the dfa engine's MB/s on the
+#: same workload), not the pre-backend placeholder.
 DEFAULT_COST_MODEL = CostModel(
-    ref_base=1.613,
-    ref_per_active=0.134,
-    bp_base=3.051,
-    bp_per_word=0.0966,
-    ms_per_word=0.1228,
-    dfa_base=0.7,
+    ref_base=1.639,
+    ref_per_active=0.136,
+    bp_base=3.186,
+    bp_per_word=0.1009,
+    ms_per_word=0.1351,
+    dfa_base=0.0784,
 )
 
 

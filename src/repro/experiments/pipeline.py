@@ -41,7 +41,9 @@ from ..nfa.analysis import NetworkTopology, analyze_network
 from ..nfa.automaton import Network
 from ..semant.absint import SemanticFacts, analyze_network_semantics
 from ..semant.predict import StaticPrediction, predict_hot_cold
+from ..sim import Engine, FALLBACK_BACKEND, resolve_backend
 from ..sim.compiled import CompiledNetwork, compile_network
+from ..sim.dfa import CompiledDFA, compile_dfa
 from ..sim.engine import run
 from ..sim.result import SimResult
 from ..stats.recorder import StageTimer
@@ -67,6 +69,7 @@ class AppRun:
         self._semantics: Optional[SemanticFacts] = None
         self._static_predictions: Dict[int, StaticPrediction] = {}
         self._compiled: Optional[CompiledNetwork] = None
+        self._dfa: Optional[CompiledDFA] = None
         self._entire_input: Optional[bytes] = None
         self._truth: Optional[SimResult] = None
         self._profiles: Dict[float, SimResult] = {}
@@ -129,6 +132,23 @@ class AppRun:
                     with self.stats.stage("compile"):
                         self._compiled = compile_network(network)
         return self._compiled
+
+    @property
+    def compiled_dfa(self) -> CompiledDFA:
+        """The materialized table-driven DFA (DESIGN.md §13).
+
+        Raises :class:`~repro.sim.dfa.DfaInfeasibleError` when the network
+        is not DFA-safe — callers should route selection through
+        :meth:`select_backend`, which checks feasibility first and falls
+        back to multistream instead of raising.
+        """
+        if self._dfa is None:
+            with self._lock:
+                if self._dfa is None:
+                    network = self.network
+                    with self.stats.stage("compile_dfa"):
+                        self._dfa = compile_dfa(network)
+        return self._dfa
 
     @property
     def entire_input(self) -> bytes:
@@ -255,6 +275,62 @@ class AppRun:
                 self, fraction=fraction, budget=use_budget
             )
         return self._cost[key]
+
+    # -- backend selection (DESIGN.md §13) -----------------------------------------
+
+    def backend_advisory(self, fraction: float, budget: Optional[int] = None):
+        """The whole-network :class:`BackendAdvisory` at this operating point."""
+        return self.cost_outcome(fraction, budget).cost.network
+
+    def select_backend(
+        self,
+        requested: Optional[str],
+        fraction: float,
+        budget: Optional[int] = None,
+    ) -> Tuple[str, Engine]:
+        """Resolve a backend request for this run's network.
+
+        ``None``/``"auto"`` consults the cost advisory
+        (:meth:`backend_advisory`); an explicit name skips the advisory
+        entirely.  Either way the choice is feasibility-checked against
+        the concrete network with multistream fallback, so the returned
+        name is the engine that will actually execute.
+        """
+        advised = FALLBACK_BACKEND
+        if requested in (None, "auto"):
+            advised = self.backend_advisory(fraction, budget).recommended
+        return resolve_backend(requested, self.network, advised=advised)
+
+    def prepared_for(self, backend: str) -> object:
+        """The cached executable artifact for a resolved backend name."""
+        if backend == "reference":
+            return self.network
+        if backend == "dfa":
+            return self.compiled_dfa
+        return self.compiled
+
+    def run_backend(
+        self,
+        requested: Optional[str],
+        input_data: Optional[bytes] = None,
+        *,
+        fraction: float,
+        budget: Optional[int] = None,
+        track_enabled: bool = False,
+    ) -> Tuple[str, SimResult]:
+        """Execute the test input (or ``input_data``) on a selected backend.
+
+        Returns ``(backend_actually_used, result)``; results are
+        bit-identical across backends by the cross-engine property gate.
+        """
+        name, engine = self.select_backend(requested, fraction, budget)
+        with self.stats.stage(f"run_{name}"):
+            result = engine.run(
+                self.prepared_for(name),
+                self.test_input if input_data is None else input_data,
+                track_enabled=track_enabled,
+            )
+        return name, result
 
     # -- derived metrics -----------------------------------------------------------
 

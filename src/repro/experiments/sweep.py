@@ -85,7 +85,9 @@ class AppSweepRow:
     n_statically_dead: int
     n_classes: int  # effective symbol-class alphabet (repro.cost)
     dfa_safe: bool  # parent network proven determinizable within budget
-    backend: str  # recommended engine backend for the parent network
+    advised_backend: str  # the cost advisory's recommendation (network)
+    backend: str  # engine actually used (= advised when none was executed)
+    backend_mb_s: float  # measured MB/s of that engine (0.0 if not executed)
     spap_speedup: float
     ap_cpu_speedup: float
     resource_saving: float
@@ -96,8 +98,16 @@ class AppSweepRow:
 
 
 def sweep_app(abbr: str, config: ExperimentConfig,
-              fraction: float = DEFAULT_PROFILE_FRACTION) -> AppSweepRow:
-    """Compute one application's row (cached via the pipeline's ``AppRun``)."""
+              fraction: float = DEFAULT_PROFILE_FRACTION,
+              backend: Optional[str] = None) -> AppSweepRow:
+    """Compute one application's row (cached via the pipeline's ``AppRun``).
+
+    ``backend`` requests a backend execution over the test input:
+    ``"auto"`` selects per the cost advisory with feasibility fallback
+    (DESIGN.md §13), an explicit name forces that engine (still with
+    fallback when infeasible).  ``None`` skips execution — the Backend
+    column then shows the advisory's recommendation, as before.
+    """
     from ..stats.collect import collect_run_stats
 
     if abbr not in APPS:
@@ -105,6 +115,21 @@ def sweep_app(abbr: str, config: ExperimentConfig,
     began = time.perf_counter()
     app_run = get_run(abbr, config)
     stats = collect_run_stats(abbr, config, fraction=fraction, app_run=app_run)
+    advised = next(
+        (p.recommended for p in stats.cost_partitions if p.name == "network"),
+        "reference",
+    )
+    used, backend_mb_s = advised, 0.0
+    if backend is not None:
+        name, engine = app_run.select_backend(backend, fraction)
+        prepared = app_run.prepared_for(name)
+        data = app_run.test_input
+        engine.run(prepared, data)  # warm lazy tables/dispatch paths
+        t0 = time.perf_counter()
+        engine.run(prepared, data)
+        elapsed = time.perf_counter() - t0
+        used = name
+        backend_mb_s = len(data) / elapsed / 1e6 if elapsed > 0 else 0.0
     row = AppSweepRow(
         abbr=abbr,
         full_name=stats.full_name,
@@ -127,10 +152,9 @@ def sweep_app(abbr: str, config: ExperimentConfig,
         dfa_safe=any(
             p.dfa_safe for p in stats.cost_partitions if p.name == "network"
         ),
-        backend=next(
-            (p.recommended for p in stats.cost_partitions if p.name == "network"),
-            "reference",
-        ),
+        advised_backend=advised,
+        backend=used,
+        backend_mb_s=backend_mb_s,
         spap_speedup=stats.spap_speedup,
         ap_cpu_speedup=stats.ap_cpu_speedup,
         resource_saving=stats.resource_saving,
@@ -139,11 +163,13 @@ def sweep_app(abbr: str, config: ExperimentConfig,
     return row
 
 
-def _sweep_worker(payload: Tuple[str, ExperimentConfig, float]) -> AppSweepRow:
+def _sweep_worker(
+    payload: Tuple[str, ExperimentConfig, float, Optional[str]]
+) -> AppSweepRow:
     """Top-level (picklable) worker: one application in one process."""
-    abbr, config, fraction = payload
+    abbr, config, fraction, backend = payload
     try:
-        return sweep_app(abbr, config, fraction)
+        return sweep_app(abbr, config, fraction, backend)
     except Exception as err:
         raise SweepError(abbr, err) from err
 
@@ -154,11 +180,14 @@ def run_sweep(
     *,
     fraction: float = DEFAULT_PROFILE_FRACTION,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[AppSweepRow]:
     """Sweep ``apps`` (default: the whole registry), ``jobs``-wide.
 
     ``jobs=None`` uses every core; ``jobs<=1`` runs serially in-process
     (sharing the caller's ``AppRun`` cache).  Rows come back in input order.
+    ``backend`` (``"auto"`` or an engine name) additionally executes the
+    test input per app on the selected engine — see :func:`sweep_app`.
     """
     targets = list(apps) if apps is not None else app_names()
     for abbr in targets:
@@ -167,7 +196,7 @@ def run_sweep(
     cfg = config or default_config()
     if jobs is None:
         jobs = os.cpu_count() or 1
-    payloads = [(abbr, cfg, fraction) for abbr in targets]
+    payloads = [(abbr, cfg, fraction, backend) for abbr in targets]
     if jobs <= 1 or len(targets) <= 1:
         return [_sweep_worker(payload) for payload in payloads]
     with ProcessPoolExecutor(max_workers=min(jobs, len(targets))) as executor:
@@ -191,6 +220,7 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
             f"{row.static_accuracy:.3f}",
             row.n_classes,
             f"{row.backend}{'*' if row.dfa_safe else ''}",
+            f"{row.backend_mb_s:.1f}" if row.backend_mb_s > 0 else "-",
             f"{row.spap_speedup:.2f}x",
             f"{row.ap_cpu_speedup:.2f}x",
             f"{100.0 * row.resource_saving:.1f}%",
@@ -198,12 +228,14 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
         ]
         for row in rows
     ]
-    # Backend column: '*' marks networks proven DFA-safe within the default
-    # subset-construction budget (repro.cost).
+    # Backend column: the engine that actually executed (or, when no
+    # --backend was requested, the advisory's recommendation); '*' marks
+    # networks proven DFA-safe within the default subset-construction
+    # budget (repro.cost).  MB/s is '-' unless a backend was executed.
     return render_table(
         ["App", "Group", "States", "NFAs", "Hot", "Batches", "Stalls",
          "IRs", "Refills", "PredAcc", "StatAcc", "Classes", "Backend",
-         "SpAP", "AP-CPU", "Saved", "Wall"],
+         "MB/s", "SpAP", "AP-CPU", "Saved", "Wall"],
         body,
     )
 

@@ -137,7 +137,10 @@ class DFA:
     ``reports[s][c]`` lists the network's reporting state ids activated by
     that transition (empty tuple if silent); ``reports_mid`` is the same
     with end-of-data reporters removed (used at every position except the
-    last).
+    last).  ``subsets[s]`` is the set of global NFA states DFA state ``s``
+    encodes — the subset-construction witness, kept so downstream
+    consumers (:mod:`repro.sim.dfa`) can recover NFA-level facts such as
+    the ever-enabled set without re-running subset construction.
     """
 
     n_states: int
@@ -146,6 +149,7 @@ class DFA:
     transitions: np.ndarray  # (n_states, n_classes)
     reports: List[List[Tuple[int, ...]]]
     reports_mid: List[List[Tuple[int, ...]]]
+    subsets: Tuple[FrozenSet[int], ...] = ()
 
     @property
     def n_classes(self) -> int:
@@ -175,7 +179,15 @@ def determinize(network: Network, *, max_states: int = 65536) -> DFA:
 
     Raises :class:`DeterminizeError` when more than ``max_states`` subset
     states are generated (the classic DFA blowup the AP avoids natively).
+    A network whose reachable-subset count is *exactly* ``max_states``
+    succeeds — the same boundary semantics as the budgeted explorer in
+    :mod:`repro.cost.explore`, pinned by the boundary regression tests in
+    ``tests/test_dfa_backend.py``.
     """
+    if max_states < 1:
+        # Mirror the explorer's budget validation: the initial subset always
+        # exists, so max_states=0 could never honor its own contract.
+        raise ValueError(f"max_states must be >= 1, got {max_states}")
     class_of, n_classes = alphabet_classes(network)
     representative = class_representatives(class_of, n_classes)
     tables = flatten_network(network)
@@ -227,6 +239,9 @@ def determinize(network: Network, *, max_states: int = 65536) -> DFA:
     transitions = np.zeros((n_states, n_classes), dtype=np.int64)
     for state_index, row in enumerate(transition_rows):
         transitions[state_index, :] = row
+    subsets: List[FrozenSet[int]] = [frozenset()] * n_states
+    for subset, state_index in index_of.items():
+        subsets[state_index] = subset
     return DFA(
         n_states=n_states,
         initial=0,
@@ -234,4 +249,5 @@ def determinize(network: Network, *, max_states: int = 65536) -> DFA:
         transitions=transitions,
         reports=report_rows,
         reports_mid=report_mid_rows,
+        subsets=tuple(subsets),
     )

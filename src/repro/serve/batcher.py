@@ -5,7 +5,9 @@ symbol; the multi-stream engine (:func:`repro.sim.multistream.run_multi`)
 amortizes it across K streams in one ``(K, n_words)`` bit matrix.  This
 module is the piece that turns *traffic* into those batches: requests for
 the same compiled network are held for at most a configurable window, then
-dispatched together.
+dispatched together through the entry's selected backend
+(:meth:`repro.serve.state.AppEntry.execute_batch` — the lock-step bit
+matrix by default, the table-driven DFA engine when selected).
 
 Batching policy (DESIGN.md §11):
 
@@ -38,7 +40,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
-from ..sim.multistream import run_multi
 from ..sim.result import SimResult
 from ..stats.recorder import StageTimer
 from .protocol import ErrorCode, ProtocolError
@@ -222,11 +223,11 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         began = time.monotonic()
         streams = [pending.symbols for pending in batch]
-        compiled = batch[0].entry.compiled
+        entry = batch[0].entry
         try:
             with self.timer.stage("execute"):
                 results = await loop.run_in_executor(
-                    self._executor, run_multi, compiled, streams
+                    self._executor, entry.execute_batch, streams
                 )
         except Exception as exc:
             for pending in batch:

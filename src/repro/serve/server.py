@@ -58,6 +58,9 @@ class ServerOptions:
     max_apps: int = 8
     warmup: bool = True
     allow_shutdown: bool = True
+    #: Batch engine: "multistream" (default), "dfa" (forced where feasible),
+    #: or "auto" (per-app cost advisory) — DESIGN.md §13.
+    backend: str = "multistream"
 
     def policy(self) -> BatchPolicy:
         return BatchPolicy(window_s=self.window_ms / 1e3,
@@ -75,6 +78,7 @@ class MatchServer:
         self.timer = StageTimer()
         self.state = ServeState(config, apps=apps,
                                 max_apps=self.options.max_apps,
+                                backend=self.options.backend,
                                 timer=self.timer)
         self.batcher = MicroBatcher(self.options.policy(), timer=self.timer)
         self._executor = concurrent.futures.ThreadPoolExecutor(

@@ -32,7 +32,9 @@ from typing import Dict, List, Optional
 from ..experiments.config import ExperimentConfig, default_config
 from ..nfa.automaton import Network
 from ..sim.compiled import CompiledNetwork, compile_network
+from ..sim.dfa import CompiledDFA, compile_dfa, dfa_feasible, dfa_run
 from ..sim.multistream import run_multi
+from ..sim.result import SimResult
 from ..stats.recorder import StageTimer
 from ..workloads.registry import resolve_abbr
 from .protocol import ErrorCode, ProtocolError
@@ -42,11 +44,31 @@ __all__ = ["AppEntry", "ServeState"]
 
 @dataclass
 class AppEntry:
-    """One resident application: its compiled network and request counter."""
+    """One resident application: its compiled artifacts and request counter.
+
+    ``backend`` names the engine batches execute on (DESIGN.md §13):
+    ``multistream`` (the default lock-step bit matrix) or ``dfa`` (the
+    table-driven executor, when the network was proven DFA-safe and the
+    server opted in).  The batcher dispatches through
+    :meth:`execute_batch` so it never hard-codes an engine.
+    """
 
     name: str
     compiled: CompiledNetwork
     requests: int = 0
+    backend: str = "multistream"
+    dfa: Optional[CompiledDFA] = None
+
+    def execute_batch(self, streams: List[bytes]) -> List[SimResult]:
+        """Run one coalesced batch on this entry's backend (executor-side).
+
+        The DFA engine has no lock-step mode — each stream is one
+        independent table walk — but per-symbol cost is so much lower
+        that it still wins whenever it is feasible at all.
+        """
+        if self.backend == "dfa" and self.dfa is not None:
+            return [dfa_run(self.dfa, stream) for stream in streams]
+        return run_multi(self.compiled, streams)
 
 
 class ServeState:
@@ -54,8 +76,16 @@ class ServeState:
 
     def __init__(self, config: Optional[ExperimentConfig] = None, *,
                  apps: Optional[List[str]] = None, max_apps: int = 8,
+                 backend: str = "multistream",
                  timer: Optional[StageTimer] = None) -> None:
+        if backend not in ("multistream", "dfa", "auto"):
+            # Serving batches streams, so only streaming engines apply:
+            # forced multistream/dfa, or advisory-driven auto.
+            raise ValueError(
+                f"serve backend must be multistream, dfa, or auto; got {backend!r}"
+            )
         self.config = config or default_config()
+        self.backend = backend
         self.timer = timer if timer is not None else StageTimer()
         self.max_apps = max(1, max_apps)
         #: Canonical abbreviations this server agrees to serve (None = any
@@ -93,9 +123,18 @@ class ServeState:
         return canonical
 
     def add_network(self, name: str, network: Network) -> AppEntry:
-        """Inject a hand-built network under ``name`` (embedding/test API)."""
+        """Inject a hand-built network under ``name`` (embedding/test API).
+
+        Injected networks have no registry pipeline (hence no cost
+        advisory), so a non-multistream server backend selects ``dfa``
+        purely on feasibility.
+        """
         with self.timer.stage("compile_app"):
             entry = AppEntry(name=name, compiled=compile_network(network))
+        if self.backend != "multistream" and dfa_feasible(network):
+            with self.timer.stage("compile_dfa"):
+                entry.dfa = compile_dfa(network)
+            entry.backend = "dfa"
         self._remember(name, entry)
         return entry
 
@@ -107,13 +146,31 @@ class ServeState:
             self.evictions += 1
 
     def _materialize(self, canonical: str) -> AppEntry:
-        """Blocking compile through the pipeline cache (executor-side)."""
+        """Blocking compile through the pipeline cache (executor-side).
+
+        With a non-multistream server backend the entry's engine is
+        resolved through the pipeline's advisory-driven selection
+        (``AppRun.select_backend``): ``auto`` takes the cost advisory's
+        recommendation, ``dfa`` forces the table engine — both
+        feasibility-checked, and anything that is not ``dfa`` lands back
+        on multistream, serving's lock-step default.
+        """
         from ..experiments.pipeline import get_run
+        from ..experiments.sweep import DEFAULT_PROFILE_FRACTION
 
         run = get_run(canonical, self.config)
         with self.timer.stage("compile_app"):
             compiled = run.compiled
-        return AppEntry(name=canonical, compiled=compiled)
+        entry = AppEntry(name=canonical, compiled=compiled)
+        if self.backend != "multistream":
+            name, _engine = run.select_backend(
+                self.backend, DEFAULT_PROFILE_FRACTION
+            )
+            if name == "dfa":
+                with self.timer.stage("compile_dfa"):
+                    entry.dfa = run.compiled_dfa
+                entry.backend = "dfa"
+        return entry
 
     def get_blocking(self, name: str) -> AppEntry:
         """Resolve + materialize synchronously (warmup, tests, benches)."""
@@ -161,7 +218,7 @@ class ServeState:
         for name in targets:
             entry = self.get_blocking(name)
             with self.timer.stage("warmup"):
-                run_multi(entry.compiled, [b"\x00\x01\x02\x03"] * batch_size)
+                entry.execute_batch([b"\x00\x01\x02\x03"] * batch_size)
             warmed.append(entry.name)
         return warmed
 

@@ -1,6 +1,31 @@
-"""Functional NFA simulation: compiled arrays, fast engine, reference engine."""
+"""Functional NFA simulation: compiled arrays, fast engines, reference engine.
 
+Besides the individual engine entry points, this package defines the
+pluggable :class:`Engine` interface (DESIGN.md §13): every execution
+backend — the set-based reference engine, the bit-packed scalar engine,
+the multi-stream lock-step engine, and the table-driven DFA engine —
+registered in :data:`ENGINES` under the same canonical names the cost
+model's advisories use (``repro.cost.model.BACKENDS``; the registries are
+pinned to each other by a test rather than an import, keeping this package
+import-cycle-free).  Callers that hold a per-partition
+``BackendAdvisory`` can turn "the model predicts ``dfa`` wins here" into
+an actual ``dfa`` execution via :func:`get_engine` /
+:func:`resolve_backend`, with automatic fallback to ``multistream`` when
+the choice is infeasible for the concrete network.
+"""
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..nfa.automaton import Network
 from .compiled import CompiledNetwork, compile_network
+from .dfa import (
+    CompiledDFA,
+    DfaInfeasibleError,
+    compile_dfa,
+    dfa_feasible,
+    dfa_run,
+    dfa_table_dtype,
+)
 from .engine import EventRunResult, as_input_array, run, run_events
 from .hybrid import HybridResult, hybrid_run
 from .matrix import MatrixNetwork, matrix_compile, matrix_run
@@ -23,6 +48,12 @@ __all__ = [
     "MatrixNetwork",
     "matrix_compile",
     "matrix_run",
+    "CompiledDFA",
+    "DfaInfeasibleError",
+    "compile_dfa",
+    "dfa_feasible",
+    "dfa_run",
+    "dfa_table_dtype",
     "DecodedReport",
     "decode_reports",
     "reports_by_code",
@@ -30,4 +61,145 @@ __all__ = [
     "SimResult",
     "reports_equal",
     "reports_to_array",
+    "Engine",
+    "ENGINES",
+    "FALLBACK_BACKEND",
+    "get_engine",
+    "resolve_backend",
 ]
+
+
+class Engine:
+    """One selectable execution backend (DESIGN.md §13).
+
+    An engine names itself, answers whether it can run a concrete network
+    (``feasible``), turns a network into its executable artifact once
+    (``prepare`` — a compiled bit matrix, a DFA table, or the network
+    itself), and executes a prepared artifact over one input stream
+    (``run``), returning a :class:`SimResult` whose reports are
+    bit-identical to every other engine's.  ``streaming_only`` engines
+    consume a contiguous symbol stream and cannot host event-driven
+    (cold-partition) execution — mirroring
+    ``repro.cost.model.STREAMING_BACKENDS``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        prepare: Callable[[Network], object],
+        execute: Callable[..., SimResult],
+        feasible: Optional[Callable[[Network], bool]] = None,
+        streaming_only: bool = False,
+    ) -> None:
+        self.name = name
+        self.streaming_only = streaming_only
+        self._prepare = prepare
+        self._execute = execute
+        self._feasible = feasible
+
+    def feasible(self, network: Network) -> bool:
+        """Whether :meth:`prepare` would succeed for ``network``."""
+        if self._feasible is None:
+            return True
+        return self._feasible(network)
+
+    def prepare(self, network: Network) -> object:
+        """Build the executable artifact (compile once, run many)."""
+        return self._prepare(network)
+
+    def run(self, prepared: object, input_data, *,
+            track_enabled: bool = False) -> SimResult:
+        """Execute one input stream over a :meth:`prepare` artifact."""
+        return self._execute(prepared, input_data, track_enabled=track_enabled)
+
+    def run_network(self, network: Network, input_data, *,
+                    track_enabled: bool = False) -> SimResult:
+        """Convenience: prepare and run in one call (tests, one-shots)."""
+        return self.run(self.prepare(network), input_data,
+                        track_enabled=track_enabled)
+
+
+def _reference_execute(prepared, input_data, *, track_enabled: bool = False):
+    # The reference engine always tracks the enabled set; the flag is
+    # accepted for interface parity.
+    return reference_run(prepared, input_data)
+
+
+def _bitpacked_execute(prepared, input_data, *, track_enabled: bool = False):
+    return run(prepared, input_data, track_enabled=track_enabled)
+
+
+def _multistream_execute(prepared, input_data, *, track_enabled: bool = False):
+    (result,) = run_multi(prepared, [input_data], track_enabled=track_enabled)
+    return result
+
+
+#: Canonical backend registry.  Keys must match
+#: ``repro.cost.model.BACKENDS`` exactly (test-pinned).
+ENGINES: Dict[str, Engine] = {
+    "reference": Engine(
+        "reference",
+        prepare=lambda network: network,
+        execute=_reference_execute,
+    ),
+    "bitpacked": Engine(
+        "bitpacked",
+        prepare=compile_network,
+        execute=_bitpacked_execute,
+    ),
+    "multistream": Engine(
+        "multistream",
+        prepare=compile_network,
+        execute=_multistream_execute,
+        streaming_only=True,
+    ),
+    "dfa": Engine(
+        "dfa",
+        prepare=compile_dfa,
+        execute=dfa_run,
+        feasible=dfa_feasible,
+        streaming_only=True,
+    ),
+}
+
+#: Where infeasible selections land: the throughput backend that is always
+#: available for streaming partitions.
+FALLBACK_BACKEND = "multistream"
+
+
+def get_engine(name: str) -> Engine:
+    """The registered engine for a canonical backend name.
+
+    Raises ``KeyError`` (listing the registry) for unknown names.
+    """
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {', '.join(ENGINES)}"
+        ) from None
+
+
+def resolve_backend(
+    requested: Optional[str],
+    network: Network,
+    *,
+    advised: str = FALLBACK_BACKEND,
+) -> Tuple[str, Engine]:
+    """Resolve a backend request against a concrete network.
+
+    ``requested`` is an explicit backend name, or ``None``/``"auto"`` to
+    take ``advised`` (typically ``BackendAdvisory.recommended``).  If the
+    chosen engine is infeasible for ``network`` — e.g. ``dfa`` on a
+    partition whose subset construction bursts the budget — the selection
+    falls back to :data:`FALLBACK_BACKEND` rather than failing, so an
+    advisory (or an operator) can never wedge execution.  Returns the
+    ``(name, engine)`` actually selected.
+    """
+    name = advised if requested in (None, "auto") else requested
+    engine = get_engine(name)
+    if not engine.feasible(network):
+        name = FALLBACK_BACKEND
+        engine = get_engine(name)
+    return name, engine

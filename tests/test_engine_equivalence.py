@@ -1,19 +1,25 @@
-"""Cross-engine equivalence: all four engines report bit-identically.
+"""Cross-engine equivalence: all five engines report bit-identically.
 
-The four execution paths — the pure-Python reference, the bit-packed scalar
-engine, the boolean-matrix engine, and the multi-stream lock-step engine —
-implement the same homogeneous-NFA semantics through completely different
-datapaths.  These property tests pin them to each other on random networks
-(cyclic, eod reporters, multiple automata) and random inputs, including both
-internal dispatch paths of the multi-stream engine.
+The five execution paths — the pure-Python reference, the bit-packed scalar
+engine, the boolean-matrix engine, the multi-stream lock-step engine, and
+the table-driven DFA engine — implement the same homogeneous-NFA semantics
+through completely different datapaths.  These property tests pin them to
+each other on random networks (cyclic, eod reporters, multiple automata)
+and random inputs, including both internal dispatch paths of the
+multi-stream engine; the ``dfa`` arm additionally sweeps every DFA-safe
+registry application at the standard bench scale.
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings
 
 from repro.sim import (
+    compile_dfa,
     compile_network,
+    dfa_feasible,
+    dfa_run,
     matrix_compile,
     matrix_run,
     reference_run,
@@ -62,6 +68,8 @@ class TestFourEngineEquivalence:
         assert reports_equal(matrix_run(matrix_compile(network), data).reports, expected)
         (multi,) = run_multi(compiled, [data])
         assert reports_equal(multi.reports, expected)
+        if dfa_feasible(network):  # the dfa arm covers every safe network
+            assert reports_equal(dfa_run(compile_dfa(network), data).reports, expected)
 
     @settings(max_examples=40, deadline=None)
     @given(seeds)
@@ -76,6 +84,9 @@ class TestFourEngineEquivalence:
         assert (scalar.ever_enabled == multi.ever_enabled).all()
         matrix = matrix_run(matrix_compile(network), data)
         assert (scalar.ever_enabled == matrix.ever_enabled).all()
+        if dfa_feasible(network):
+            dfa = dfa_run(compile_dfa(network), data, track_enabled=True)
+            assert (scalar.ever_enabled == dfa.ever_enabled).all()
 
     @settings(max_examples=40, deadline=None)
     @given(seeds)

@@ -39,8 +39,20 @@ class TestRunSweep:
         serial = run_sweep(["Bro217", "LV"], small_config, jobs=1)
         parallel = run_sweep(["Bro217", "LV"], small_config, jobs=2)
         for a, b in zip(serial, parallel):
-            # Wall time differs between processes; the science must not.
-            assert replace(a, seconds=0.0) == replace(b, seconds=0.0)
+            # Wall time (and measured MB/s, when a backend executes)
+            # differs between processes; the science must not.
+            assert replace(a, seconds=0.0, backend_mb_s=0.0) == \
+                replace(b, seconds=0.0, backend_mb_s=0.0)
+
+    def test_backend_execution_populates_row(self, small_config):
+        (row,) = run_sweep(["Bro217"], small_config, jobs=1, backend="auto")
+        assert row.backend in ("reference", "bitpacked", "multistream", "dfa")
+        assert row.backend_mb_s > 0.0
+        (forced,) = run_sweep(
+            ["Bro217"], small_config, jobs=1, backend="bitpacked"
+        )
+        assert forced.backend == "bitpacked"
+        assert forced.advised_backend == row.advised_backend
 
     def test_unknown_app_rejected(self, small_config):
         with pytest.raises(KeyError, match="nope"):
