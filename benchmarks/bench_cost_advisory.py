@@ -3,8 +3,9 @@
 The analytic cost model (``repro.cost.model``) prices every engine backend
 from static features alone; its one falsifiable claim is that the *ordering*
 it predicts matches reality.  This harness measures the live backends
-(reference, bitpacked, multistream, and — on DFA-safe networks — the
-table-driven dfa engine) on each application's parent network and checks
+(reference, bitpacked, multistream, the lazy-DFA hybrid, and — on
+DFA-safe networks — the table-driven dfa engine) on each application's
+parent network and checks
 that the model's predicted-fastest among the backends measured is the
 measured-fastest, per application::
 
@@ -26,9 +27,11 @@ import pytest
 from repro.cost import advise_network, rank_backends
 from repro.sim import (
     compile_dfa,
+    compile_lazydfa,
     compile_network,
     dfa_feasible,
     dfa_run,
+    lazydfa_run,
     reference_run,
     run,
     run_multi,
@@ -40,8 +43,10 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cost.json"
 APPS = ("Bro217", "Snort", "ER", "HM", "LV", "SPM", "Fermi", "CAV")
 SCALE, INPUT_LEN, K_STREAMS = 64, 2048, 8
 #: Backends with a live engine to measure against ("dfa" only where the
-#: network is DFA-safe within the default budgets).
-MEASURED_BACKENDS = ("reference", "bitpacked", "multistream", "dfa")
+#: network is DFA-safe within the default budgets; "lazydfa" everywhere —
+#: the hybrid needs no proof).
+MEASURED_BACKENDS = ("reference", "bitpacked", "multistream", "dfa",
+                     "lazydfa")
 #: Acceptance floor: the model must pick the measured winner on at least
 #: this fraction of the swept applications.
 MIN_AGREEMENT = 0.8
@@ -90,6 +95,11 @@ def _measure_app(abbr, repeats=3):
         dfa = compile_dfa(network)
         dfa_run(dfa, data)  # warm the lazy flat-table build
         measured["dfa"] = _us_per_byte(lambda: dfa_run(dfa, data), n, repeats)
+    lazy = compile_lazydfa(network)
+    lazydfa_run(lazy, data)  # converge the subset cache
+    measured["lazydfa"] = _us_per_byte(
+        lambda: lazydfa_run(lazy, data), n, repeats
+    )
     advisory = advise_network(network, horizon=INPUT_LEN, n_streams=K_STREAMS)
     # Compare over the backends actually measured, so an app without a
     # feasible DFA still scores the three-way ordering.

@@ -9,12 +9,14 @@ Run directly, this module is the benchmark-trajectory harness::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # write BENCH_engine.json
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --check  # CI smoke assertion
 
-The harness measures MB/s for the five engines (reference, bit-packed,
-matrix, multi-stream, table-driven DFA) on the standard workload — Snort
-at scale 64 is DFA-safe, so the same workload carries the ``dfa``
-measurement — and records the *speedup ratios* against a live re-run of
-the seed hot loop (``_seed_run`` below, a verbatim copy of the
-pre-optimization engine).  Ratios of two measurements taken on the same
+The harness measures MB/s for the engines (reference, bit-packed, matrix,
+multi-stream, table-driven DFA, and the bounded-subset lazy-DFA hybrid) on
+the standard workload — Snort at scale 64 is DFA-safe, so the same
+workload carries the ``dfa`` measurement — plus a ``lazydfa_unsafe``
+section timing the hybrid against bitpacked on the DFA-*unsafe* registry
+apps (where no eager table exists), and records the *speedup ratios*
+against a live re-run of the seed hot loop (``_seed_run`` below, a
+verbatim copy of the pre-optimization engine).  Ratios of two measurements taken on the same
 machine moments apart are machine-independent, so ``--check`` can compare
 today's ratio against the committed one without caring how fast the CI
 runner is.  See DESIGN.md §"Benchmark trajectory".
@@ -38,8 +40,10 @@ import pytest
 from repro import bitops
 from repro.sim import (
     compile_dfa,
+    compile_lazydfa,
     compile_network,
     dfa_run,
+    lazydfa_run,
     matrix_compile,
     matrix_run,
     reference_run,
@@ -62,15 +66,27 @@ TOLERANCE = 0.5
 MIN_BITPACKED_VS_SEED = 1.5
 MIN_MULTISTREAM_VS_K_SCALAR = 1.0
 MIN_DFA_VS_BITPACKED = 10.0
+#: The lazy hybrid must beat bitpacked by this factor on at least one
+#: previously DFA-unsafe application (and the committed document must
+#: record it on at least two) — the DESIGN.md §14 acceptance bar.
+MIN_LAZYDFA_VS_BITPACKED = 2.0
+
+#: DFA-unsafe registry applications (at the standard bench scale) where
+#: only the hybrid can deliver table-speed execution; the ``lazydfa_unsafe``
+#: section measures each against bitpacked.
+UNSAFE_APPS = ("LV", "ER", "SPM", "Fermi", "Brill")
 
 #: Full document shape: every key the harness writes, pinned so a partial
 #: merge (stale workload metadata, missing engine column) cannot validate.
 _WORKLOAD_KEYS = ("app", "scale", "input_len", "n_states", "k_streams",
                   "dfa_states", "dfa_classes", "dfa_table_bytes")
 _THROUGHPUT_KEYS = ("seed_scalar", "reference", "bitpacked", "matrix",
-                    "k_scalar_aggregate", "multistream_aggregate", "dfa")
+                    "k_scalar_aggregate", "multistream_aggregate", "dfa",
+                    "lazydfa")
 _SPEEDUP_KEYS = ("bitpacked_vs_seed", "matrix_vs_seed",
-                 "multistream_vs_k_scalar", "dfa_vs_bitpacked")
+                 "multistream_vs_k_scalar", "dfa_vs_bitpacked",
+                 "lazydfa_vs_bitpacked")
+_UNSAFE_APP_KEYS = ("app", "bitpacked_mb_s", "lazydfa_mb_s", "speedup")
 
 
 def validate_engine_bench(document):
@@ -95,6 +111,28 @@ def validate_engine_bench(document):
             )
     if not isinstance(document.get("reports_identical_across_engines"), bool):
         raise ValueError("missing reports_identical_across_engines flag")
+    unsafe = document.get("lazydfa_unsafe")
+    if not isinstance(unsafe, dict) or not isinstance(unsafe.get("apps"), list):
+        raise ValueError("engine bench document missing lazydfa_unsafe.apps")
+    for entry in unsafe["apps"]:
+        missing = [key for key in _UNSAFE_APP_KEYS if key not in entry]
+        extra = [key for key in entry if key not in _UNSAFE_APP_KEYS]
+        if missing or extra:
+            raise ValueError(
+                f"lazydfa_unsafe entry keys drifted: missing {missing}, "
+                f"unexpected {extra}"
+            )
+        for key in ("bitpacked_mb_s", "lazydfa_mb_s", "speedup"):
+            if not float(entry[key]) > 0:
+                raise ValueError(
+                    f"non-positive {key} for unsafe app {entry.get('app')!r}"
+                )
+    if sum(1 for entry in unsafe["apps"]
+           if float(entry["speedup"]) >= MIN_LAZYDFA_VS_BITPACKED) < 2:
+        raise ValueError(
+            f"lazydfa_unsafe must record >= {MIN_LAZYDFA_VS_BITPACKED}x over "
+            f"bitpacked on at least two DFA-unsafe apps"
+        )
     workload = document["workload"]
     if workload["app"] != APP or workload["scale"] != SCALE:
         raise ValueError(
@@ -203,6 +241,8 @@ def collect_metrics(repeats=3, timer=None):
         # Snort at scale 64 is DFA-safe within the default budgets, so the
         # standard workload carries the dfa measurement directly.
         dfa = compile_dfa(network)
+    with timer.stage("compile_lazydfa"):
+        lazy = compile_lazydfa(network)
 
     with timer.stage("equivalence"):
         seed_result = _seed_run(compiled, data)
@@ -211,10 +251,12 @@ def collect_metrics(repeats=3, timer=None):
         matrix_result = matrix_run(matrix_compile(network), data)
         multi_results = run_multi(compiled, streams, track_enabled=False)
         dfa_result = dfa_run(dfa, data)
+        lazy_result = lazydfa_run(lazy, data)
         identical = all(
             reports_equal(fast_result.reports, other)
             for other in [seed_result, reference_result.reports,
-                          matrix_result.reports, dfa_result.reports]
+                          matrix_result.reports, dfa_result.reports,
+                          lazy_result.reports]
             + [r.reports for r in multi_results]
         )
 
@@ -242,6 +284,15 @@ def collect_metrics(repeats=3, timer=None):
     with timer.stage("measure_dfa"):
         dfa_run(dfa, data)  # warm the lazy flat-table build out of the timing
         dfa_mb_s = _mb_per_s(lambda: dfa_run(dfa, data), n, repeats)
+    with timer.stage("measure_lazydfa"):
+        # The equivalence pass above already converged the subset cache,
+        # so this measures the steady-state hit path (the quantity the
+        # cost model's lz_base coefficient is calibrated from).
+        lazydfa_mb_s = _mb_per_s(lambda: lazydfa_run(lazy, data), n, repeats)
+
+    with timer.stage("measure_lazydfa_unsafe"):
+        unsafe_rows, unsafe_identical = _measure_unsafe_apps(repeats)
+        identical = identical and unsafe_identical
 
     # The workload block is rebuilt wholesale from this run's live objects
     # (never merged with a committed document), so adding an engine can't
@@ -265,15 +316,59 @@ def collect_metrics(repeats=3, timer=None):
             "k_scalar_aggregate": round(k_scalar, 3),
             "multistream_aggregate": round(multistream, 3),
             "dfa": round(dfa_mb_s, 3),
+            "lazydfa": round(lazydfa_mb_s, 3),
         },
         "speedup": {
             "bitpacked_vs_seed": round(bitpacked / seed, 3),
             "matrix_vs_seed": round(matrix / seed, 3),
             "multistream_vs_k_scalar": round(multistream / k_scalar, 3),
             "dfa_vs_bitpacked": round(dfa_mb_s / bitpacked, 3),
+            "lazydfa_vs_bitpacked": round(lazydfa_mb_s / bitpacked, 3),
         },
+        "lazydfa_unsafe": {"apps": unsafe_rows},
         "reports_identical_across_engines": identical,
     }
+
+
+def _measure_unsafe_apps(repeats=3):
+    """Bitpacked-vs-hybrid throughput on the DFA-unsafe registry apps.
+
+    These are exactly the applications the eager table backend must reject
+    (their reachable subset space bursts the budget), so the hybrid is the
+    only table-speed engine available — the section the cost model's
+    ``lz_unsafe_factor`` is calibrated from.  Each app's hybrid reports are
+    checked bit-identical against the bitpacked engine's before timing.
+    """
+    from repro.sim import dfa_feasible
+
+    rows = []
+    identical = True
+    for abbr in UNSAFE_APPS:
+        spec = get_app(abbr)
+        network = spec.build(SCALE)
+        assert not dfa_feasible(network), (
+            f"{abbr} became DFA-safe at scale {SCALE}; "
+            f"drop it from UNSAFE_APPS"
+        )
+        compiled = compile_network(network)
+        data = spec.make_input(network, INPUT_LEN)
+        n = len(data)
+        lazy = compile_lazydfa(network)
+        bp_result = run(compiled, data, track_enabled=False)
+        lazy_result = lazydfa_run(lazy, data)  # also converges the cache
+        identical = identical and reports_equal(
+            bp_result.reports, lazy_result.reports
+        )
+        bp = _mb_per_s(lambda: run(compiled, data, track_enabled=False),
+                       n, repeats)
+        lz = _mb_per_s(lambda: lazydfa_run(lazy, data), n, repeats)
+        rows.append({
+            "app": abbr,
+            "bitpacked_mb_s": round(bp, 3),
+            "lazydfa_mb_s": round(lz, 3),
+            "speedup": round(lz / bp, 3),
+        })
+    return rows, identical
 
 
 def _check(recorded, live):
@@ -294,6 +389,17 @@ def _check(recorded, live):
                 f"{key} regressed: {new:.2f}x live vs {old:.2f}x recorded "
                 f"(needs >= {need:.2f}x)"
             )
+    # The hybrid's reason to exist: table speed where no table is allowed.
+    # At least one previously DFA-unsafe app must clear the hard floor live
+    # (the committed document already pins >= 2 apps via the validator).
+    live_unsafe = live["lazydfa_unsafe"]["apps"]
+    best = max((entry["speedup"] for entry in live_unsafe), default=0.0)
+    if best < MIN_LAZYDFA_VS_BITPACKED:
+        failures.append(
+            f"lazydfa_vs_bitpacked on DFA-unsafe apps regressed: best live "
+            f"speedup {best:.2f}x (needs >= {MIN_LAZYDFA_VS_BITPACKED:.2f}x "
+            f"on at least one app)"
+        )
     return failures
 
 

@@ -39,8 +39,10 @@ severity fires.
 ``--no-verify`` on the experiment commands disables the pipeline's
 fail-fast invariant checks (see ``repro.verify``).
 ``--backend NAME|auto`` on ``run-app``, ``sweep``, and ``serve`` selects
-the execution engine per DESIGN.md §13 (``auto`` follows the cost
-advisory, with multistream fallback when the choice is infeasible).
+the execution engine per DESIGN.md §13-§14.  ``auto`` follows the cost
+advisory with silent multistream fallback when the choice is infeasible;
+an explicit name fails loudly when infeasible unless ``--backend-fallback``
+opts into the substitution.
 """
 
 from __future__ import annotations
@@ -145,7 +147,16 @@ def _cmd_run_app(args) -> int:
     if args.backend is not None:
         import time as _time
 
-        name, engine = run.select_backend(args.backend, args.profile)
+        from .sim import BackendInfeasibleError
+
+        try:
+            name, engine = run.select_backend(
+                args.backend, args.profile,
+                allow_fallback=True if args.backend_fallback else None,
+            )
+        except BackendInfeasibleError as err:
+            print(f"run-app: {err}", file=sys.stderr)
+            return 2
         prepared = run.prepared_for(name)
         data = run.test_input
         engine.run(prepared, data)  # warm lazy tables/dispatch paths
@@ -191,7 +202,8 @@ def _cmd_sweep(args) -> int:
     try:
         rows = run_sweep(targets, _config_for(args),
                          fraction=args.profile, jobs=args.jobs,
-                         backend=args.backend)
+                         backend=args.backend,
+                         backend_fallback=args.backend_fallback)
     except SweepError as err:
         print(f"sweep failed at {err} (other applications were not run to "
               "completion; --no-verify skips the fail-fast checks)",
@@ -480,8 +492,12 @@ def main(argv: Optional[list] = None) -> int:
                             choices=["auto"] + list(_BACKEND_CHOICES),
                             help="also execute the test input on an engine: "
                                  "'auto' follows the cost advisory; an "
-                                 "explicit name forces it (multistream "
-                                 "fallback when infeasible)")
+                                 "explicit name forces it and fails if "
+                                 "infeasible (see --backend-fallback)")
+    run_parser.add_argument("--backend-fallback", action="store_true",
+                            help="accept multistream substitution when an "
+                                 "explicitly requested backend is infeasible "
+                                 "instead of failing")
 
     figure_parser = sub.add_parser("figure", help="regenerate one table/figure")
     figure_parser.add_argument("name", help=f"one of: {', '.join(_FIGURES)}")
@@ -512,7 +528,13 @@ def main(argv: Optional[list] = None) -> int:
                               help="execute each app's test input on an "
                                    "engine: 'auto' selects per-app from the "
                                    "cost advisory; the Backend/MB/s columns "
-                                   "then show the engine actually used")
+                                   "then show the engine actually used; an "
+                                   "explicit name fails loudly on apps where "
+                                   "it is infeasible (see --backend-fallback)")
+    sweep_parser.add_argument("--backend-fallback", action="store_true",
+                              help="accept multistream substitution on apps "
+                                   "where an explicitly requested backend is "
+                                   "infeasible instead of failing their rows")
 
     stats_parser = sub.add_parser(
         "stats",
@@ -612,9 +634,10 @@ def main(argv: Optional[list] = None) -> int:
     serve_parser.add_argument("--max-apps", type=int, default=8,
                               help="compiled networks kept resident (LRU)")
     serve_parser.add_argument("--backend", default="multistream",
-                              choices=["multistream", "dfa", "auto"],
+                              choices=["multistream", "dfa", "lazydfa", "auto"],
                               help="batch engine: multistream (default), "
-                                   "dfa (where feasible), or auto "
+                                   "dfa (where feasible), lazydfa (the "
+                                   "bounded-subset hybrid), or auto "
                                    "(per-app cost advisory)")
     serve_parser.add_argument("--no-warmup", action="store_true",
                               help="skip compiling --apps before binding")

@@ -44,6 +44,7 @@ from ..semant.predict import StaticPrediction, predict_hot_cold
 from ..sim import Engine, FALLBACK_BACKEND, resolve_backend
 from ..sim.compiled import CompiledNetwork, compile_network
 from ..sim.dfa import CompiledDFA, compile_dfa
+from ..sim.lazydfa import CompiledLazyDfa, compile_lazydfa
 from ..sim.engine import run
 from ..sim.result import SimResult
 from ..stats.recorder import StageTimer
@@ -70,6 +71,7 @@ class AppRun:
         self._static_predictions: Dict[int, StaticPrediction] = {}
         self._compiled: Optional[CompiledNetwork] = None
         self._dfa: Optional[CompiledDFA] = None
+        self._lazydfa: Optional[CompiledLazyDfa] = None
         self._entire_input: Optional[bytes] = None
         self._truth: Optional[SimResult] = None
         self._profiles: Dict[float, SimResult] = {}
@@ -149,6 +151,22 @@ class AppRun:
                     with self.stats.stage("compile_dfa"):
                         self._dfa = compile_dfa(network)
         return self._dfa
+
+    @property
+    def compiled_lazydfa(self) -> CompiledLazyDfa:
+        """The lazy-DFA hybrid artifact (DESIGN.md §14).
+
+        Always feasible (no subset-construction proof required); its
+        subset cache fills during execution and persists on this run, so
+        repeated inputs execute mostly at table speed.
+        """
+        if self._lazydfa is None:
+            with self._lock:
+                if self._lazydfa is None:
+                    network = self.network
+                    with self.stats.stage("compile_lazydfa"):
+                        self._lazydfa = compile_lazydfa(network)
+        return self._lazydfa
 
     @property
     def entire_input(self) -> bytes:
@@ -287,19 +305,27 @@ class AppRun:
         requested: Optional[str],
         fraction: float,
         budget: Optional[int] = None,
+        *,
+        allow_fallback: Optional[bool] = None,
     ) -> Tuple[str, Engine]:
         """Resolve a backend request for this run's network.
 
         ``None``/``"auto"`` consults the cost advisory
         (:meth:`backend_advisory`); an explicit name skips the advisory
         entirely.  Either way the choice is feasibility-checked against
-        the concrete network with multistream fallback, so the returned
+        the concrete network: ``auto`` requests fall back to multistream
+        silently, explicit ones raise
+        :class:`~repro.sim.BackendInfeasibleError` unless
+        ``allow_fallback=True`` opts into substitution, so the returned
         name is the engine that will actually execute.
         """
         advised = FALLBACK_BACKEND
         if requested in (None, "auto"):
             advised = self.backend_advisory(fraction, budget).recommended
-        return resolve_backend(requested, self.network, advised=advised)
+        return resolve_backend(
+            requested, self.network, advised=advised,
+            allow_fallback=allow_fallback,
+        )
 
     def prepared_for(self, backend: str) -> object:
         """The cached executable artifact for a resolved backend name."""
@@ -307,6 +333,8 @@ class AppRun:
             return self.network
         if backend == "dfa":
             return self.compiled_dfa
+        if backend == "lazydfa":
+            return self.compiled_lazydfa
         return self.compiled
 
     def run_backend(
@@ -317,13 +345,16 @@ class AppRun:
         fraction: float,
         budget: Optional[int] = None,
         track_enabled: bool = False,
+        allow_fallback: Optional[bool] = None,
     ) -> Tuple[str, SimResult]:
         """Execute the test input (or ``input_data``) on a selected backend.
 
         Returns ``(backend_actually_used, result)``; results are
         bit-identical across backends by the cross-engine property gate.
         """
-        name, engine = self.select_backend(requested, fraction, budget)
+        name, engine = self.select_backend(
+            requested, fraction, budget, allow_fallback=allow_fallback
+        )
         with self.stats.stage(f"run_{name}"):
             result = engine.run(
                 self.prepared_for(name),

@@ -99,14 +99,18 @@ class AppSweepRow:
 
 def sweep_app(abbr: str, config: ExperimentConfig,
               fraction: float = DEFAULT_PROFILE_FRACTION,
-              backend: Optional[str] = None) -> AppSweepRow:
+              backend: Optional[str] = None,
+              backend_fallback: bool = False) -> AppSweepRow:
     """Compute one application's row (cached via the pipeline's ``AppRun``).
 
     ``backend`` requests a backend execution over the test input:
     ``"auto"`` selects per the cost advisory with feasibility fallback
-    (DESIGN.md §13), an explicit name forces that engine (still with
-    fallback when infeasible).  ``None`` skips execution — the Backend
-    column then shows the advisory's recommendation, as before.
+    (DESIGN.md §13); an explicit name forces that engine and *raises*
+    :class:`~repro.sim.BackendInfeasibleError` (wrapped in
+    :class:`SweepError` by the pool worker) when it cannot run, unless
+    ``backend_fallback`` opts into multistream substitution.  ``None``
+    skips execution — the Backend column then shows the advisory's
+    recommendation, as before.
     """
     from ..stats.collect import collect_run_stats
 
@@ -114,22 +118,30 @@ def sweep_app(abbr: str, config: ExperimentConfig,
         raise KeyError(f"unknown application {abbr!r}")
     began = time.perf_counter()
     app_run = get_run(abbr, config)
-    stats = collect_run_stats(abbr, config, fraction=fraction, app_run=app_run)
-    advised = next(
-        (p.recommended for p in stats.cost_partitions if p.name == "network"),
-        "reference",
-    )
-    used, backend_mb_s = advised, 0.0
+    used_for_stats: Optional[str] = None
+    backend_mb_s = 0.0
     if backend is not None:
-        name, engine = app_run.select_backend(backend, fraction)
+        name, engine = app_run.select_backend(
+            backend, fraction,
+            allow_fallback=True if backend_fallback else None,
+        )
         prepared = app_run.prepared_for(name)
         data = app_run.test_input
         engine.run(prepared, data)  # warm lazy tables/dispatch paths
         t0 = time.perf_counter()
         engine.run(prepared, data)
         elapsed = time.perf_counter() - t0
-        used = name
+        used_for_stats = name
         backend_mb_s = len(data) / elapsed / 1e6 if elapsed > 0 else 0.0
+    stats = collect_run_stats(
+        abbr, config, fraction=fraction, app_run=app_run,
+        requested_backend=backend, selected_backend=used_for_stats,
+    )
+    advised = next(
+        (p.recommended for p in stats.cost_partitions if p.name == "network"),
+        "reference",
+    )
+    used = used_for_stats if used_for_stats is not None else advised
     row = AppSweepRow(
         abbr=abbr,
         full_name=stats.full_name,
@@ -164,12 +176,12 @@ def sweep_app(abbr: str, config: ExperimentConfig,
 
 
 def _sweep_worker(
-    payload: Tuple[str, ExperimentConfig, float, Optional[str]]
+    payload: Tuple[str, ExperimentConfig, float, Optional[str], bool]
 ) -> AppSweepRow:
     """Top-level (picklable) worker: one application in one process."""
-    abbr, config, fraction, backend = payload
+    abbr, config, fraction, backend, backend_fallback = payload
     try:
-        return sweep_app(abbr, config, fraction, backend)
+        return sweep_app(abbr, config, fraction, backend, backend_fallback)
     except Exception as err:
         raise SweepError(abbr, err) from err
 
@@ -181,13 +193,17 @@ def run_sweep(
     fraction: float = DEFAULT_PROFILE_FRACTION,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    backend_fallback: bool = False,
 ) -> List[AppSweepRow]:
     """Sweep ``apps`` (default: the whole registry), ``jobs``-wide.
 
     ``jobs=None`` uses every core; ``jobs<=1`` runs serially in-process
     (sharing the caller's ``AppRun`` cache).  Rows come back in input order.
     ``backend`` (``"auto"`` or an engine name) additionally executes the
-    test input per app on the selected engine — see :func:`sweep_app`.
+    test input per app on the selected engine — see :func:`sweep_app`;
+    ``backend_fallback`` permits multistream substitution for explicit
+    requests that are infeasible on some apps (otherwise those apps fail
+    their rows loudly).
     """
     targets = list(apps) if apps is not None else app_names()
     for abbr in targets:
@@ -196,7 +212,9 @@ def run_sweep(
     cfg = config or default_config()
     if jobs is None:
         jobs = os.cpu_count() or 1
-    payloads = [(abbr, cfg, fraction, backend) for abbr in targets]
+    payloads = [
+        (abbr, cfg, fraction, backend, backend_fallback) for abbr in targets
+    ]
     if jobs <= 1 or len(targets) <= 1:
         return [_sweep_worker(payload) for payload in payloads]
     with ProcessPoolExecutor(max_workers=min(jobs, len(targets))) as executor:

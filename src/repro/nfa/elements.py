@@ -57,6 +57,40 @@ def _check_signal(signal: Signal) -> None:
         raise ValueError(f"bad signal: {signal!r}")
 
 
+def _check_element(element_id: int, element: object) -> None:
+    """Structural validation of one element at network-construction time.
+
+    Duplicates the element dataclasses' own ``__post_init__`` checks on
+    purpose: input lists are mutable and elements can be handed straight to
+    the :class:`ElementNetwork` constructor, so this is the last gate
+    before the simulator (which would otherwise, e.g., silently ignore the
+    extra inputs of an over-wired NOT gate).
+    """
+    if isinstance(element, Gate):
+        if not element.inputs:
+            raise ValueError(f"element {element_id}: gate needs at least one input")
+        if element.kind is GateKind.NOT and len(element.inputs) != 1:
+            raise ValueError(
+                f"element {element_id}: NOT gate takes exactly one input, "
+                f"got fan-in {len(element.inputs)}"
+            )
+        for signal in element.inputs:
+            _check_signal(signal)
+    elif isinstance(element, Counter):
+        if element.target < 1:
+            raise ValueError(
+                f"element {element_id}: counter target must be >= 1, "
+                f"got {element.target}"
+            )
+        for signal in element.count_inputs + element.reset_inputs:
+            _check_signal(signal)
+    else:
+        raise TypeError(
+            f"element {element_id}: expected Gate or Counter, "
+            f"got {type(element).__name__}"
+        )
+
+
 @dataclass
 class Counter:
     """A threshold counter element."""
@@ -108,6 +142,15 @@ class ElementNetwork:
     elements: List[object] = field(default_factory=list)
     enables: Dict[int, List[int]] = field(default_factory=dict)
 
+    def __post_init__(self):
+        # Elements handed to the constructor directly bypass add_gate /
+        # add_counter, and a Gate's ``inputs`` list can be mutated after
+        # Gate.__post_init__ ran — re-validate here so a malformed element
+        # can never reach the simulator (which would silently ignore the
+        # extra NOT inputs, see repro.sim.hybrid._gate_value).
+        for element_id, element in enumerate(self.elements):
+            _check_element(element_id, element)
+
     def add_counter(self, counter: Counter) -> int:
         return self._add(counter, counter.count_inputs + counter.reset_inputs)
 
@@ -116,6 +159,7 @@ class ElementNetwork:
 
     def _add(self, element, signals: List[Signal]) -> int:
         element_id = len(self.elements)
+        _check_element(element_id, element)
         n_states = self.network.n_states
         for kind, index in signals:
             if kind == "ste" and index >= n_states:

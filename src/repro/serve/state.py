@@ -33,6 +33,7 @@ from ..experiments.config import ExperimentConfig, default_config
 from ..nfa.automaton import Network
 from ..sim.compiled import CompiledNetwork, compile_network
 from ..sim.dfa import CompiledDFA, compile_dfa, dfa_feasible, dfa_run
+from ..sim.lazydfa import CompiledLazyDfa, compile_lazydfa, lazydfa_run
 from ..sim.multistream import run_multi
 from ..sim.result import SimResult
 from ..stats.recorder import StageTimer
@@ -47,9 +48,10 @@ class AppEntry:
     """One resident application: its compiled artifacts and request counter.
 
     ``backend`` names the engine batches execute on (DESIGN.md §13):
-    ``multistream`` (the default lock-step bit matrix) or ``dfa`` (the
+    ``multistream`` (the default lock-step bit matrix), ``dfa`` (the
     table-driven executor, when the network was proven DFA-safe and the
-    server opted in).  The batcher dispatches through
+    server opted in), or ``lazydfa`` (the bounded-subset hybrid,
+    DESIGN.md §14 — no proof required).  The batcher dispatches through
     :meth:`execute_batch` so it never hard-codes an engine.
     """
 
@@ -58,16 +60,21 @@ class AppEntry:
     requests: int = 0
     backend: str = "multistream"
     dfa: Optional[CompiledDFA] = None
+    lazydfa: Optional[CompiledLazyDfa] = None
 
     def execute_batch(self, streams: List[bytes]) -> List[SimResult]:
         """Run one coalesced batch on this entry's backend (executor-side).
 
-        The DFA engine has no lock-step mode — each stream is one
+        Neither DFA engine has a lock-step mode — each stream is one
         independent table walk — but per-symbol cost is so much lower
-        that it still wins whenever it is feasible at all.
+        that they still win whenever selected.  The lazy hybrid serializes
+        itself on the artifact's internal lock, so concurrent executor
+        workers are safe.
         """
         if self.backend == "dfa" and self.dfa is not None:
             return [dfa_run(self.dfa, stream) for stream in streams]
+        if self.backend == "lazydfa" and self.lazydfa is not None:
+            return [lazydfa_run(self.lazydfa, stream) for stream in streams]
         return run_multi(self.compiled, streams)
 
 
@@ -78,11 +85,12 @@ class ServeState:
                  apps: Optional[List[str]] = None, max_apps: int = 8,
                  backend: str = "multistream",
                  timer: Optional[StageTimer] = None) -> None:
-        if backend not in ("multistream", "dfa", "auto"):
+        if backend not in ("multistream", "dfa", "lazydfa", "auto"):
             # Serving batches streams, so only streaming engines apply:
-            # forced multistream/dfa, or advisory-driven auto.
+            # forced multistream/dfa/lazydfa, or advisory-driven auto.
             raise ValueError(
-                f"serve backend must be multistream, dfa, or auto; got {backend!r}"
+                f"serve backend must be multistream, dfa, lazydfa, or auto; "
+                f"got {backend!r}"
             )
         self.config = config or default_config()
         self.backend = backend
@@ -126,15 +134,21 @@ class ServeState:
         """Inject a hand-built network under ``name`` (embedding/test API).
 
         Injected networks have no registry pipeline (hence no cost
-        advisory), so a non-multistream server backend selects ``dfa``
-        purely on feasibility.
+        advisory), so a non-multistream server backend selects on
+        feasibility alone: ``dfa``/``auto`` take the table engine when the
+        network is proven safe, ``lazydfa`` (or ``auto`` on an unsafe
+        network) takes the hybrid.
         """
         with self.timer.stage("compile_app"):
             entry = AppEntry(name=name, compiled=compile_network(network))
-        if self.backend != "multistream" and dfa_feasible(network):
+        if self.backend in ("dfa", "auto") and dfa_feasible(network):
             with self.timer.stage("compile_dfa"):
                 entry.dfa = compile_dfa(network)
             entry.backend = "dfa"
+        elif self.backend in ("lazydfa", "auto"):
+            with self.timer.stage("compile_lazydfa"):
+                entry.lazydfa = compile_lazydfa(network)
+            entry.backend = "lazydfa"
         self._remember(name, entry)
         return entry
 
@@ -151,9 +165,12 @@ class ServeState:
         With a non-multistream server backend the entry's engine is
         resolved through the pipeline's advisory-driven selection
         (``AppRun.select_backend``): ``auto`` takes the cost advisory's
-        recommendation, ``dfa`` forces the table engine — both
-        feasibility-checked, and anything that is not ``dfa`` lands back
-        on multistream, serving's lock-step default.
+        recommendation, an explicit ``dfa``/``lazydfa`` forces that engine
+        — both feasibility-checked.  Serving's documented contract is
+        availability over strictness, so selection runs with
+        ``allow_fallback=True``: an infeasible forced engine lands back on
+        multistream, serving's lock-step default, instead of failing the
+        request.
         """
         from ..experiments.pipeline import get_run
         from ..experiments.sweep import DEFAULT_PROFILE_FRACTION
@@ -164,12 +181,16 @@ class ServeState:
         entry = AppEntry(name=canonical, compiled=compiled)
         if self.backend != "multistream":
             name, _engine = run.select_backend(
-                self.backend, DEFAULT_PROFILE_FRACTION
+                self.backend, DEFAULT_PROFILE_FRACTION, allow_fallback=True
             )
             if name == "dfa":
                 with self.timer.stage("compile_dfa"):
                     entry.dfa = run.compiled_dfa
                 entry.backend = "dfa"
+            elif name == "lazydfa":
+                with self.timer.stage("compile_lazydfa"):
+                    entry.lazydfa = run.compiled_lazydfa
+                entry.backend = "lazydfa"
         return entry
 
     def get_blocking(self, name: str) -> AppEntry:

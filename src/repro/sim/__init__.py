@@ -3,15 +3,17 @@
 Besides the individual engine entry points, this package defines the
 pluggable :class:`Engine` interface (DESIGN.md §13): every execution
 backend — the set-based reference engine, the bit-packed scalar engine,
-the multi-stream lock-step engine, and the table-driven DFA engine —
-registered in :data:`ENGINES` under the same canonical names the cost
+the multi-stream lock-step engine, the table-driven DFA engine, and the
+bounded-subset lazy-DFA hybrid — registered in :data:`ENGINES` under the
+same canonical names the cost
 model's advisories use (``repro.cost.model.BACKENDS``; the registries are
 pinned to each other by a test rather than an import, keeping this package
 import-cycle-free).  Callers that hold a per-partition
 ``BackendAdvisory`` can turn "the model predicts ``dfa`` wins here" into
 an actual ``dfa`` execution via :func:`get_engine` /
-:func:`resolve_backend`, with automatic fallback to ``multistream`` when
-the choice is infeasible for the concrete network.
+:func:`resolve_backend`, with automatic fallback to ``multistream`` for
+``auto`` requests when the choice is infeasible for the concrete network —
+explicit requests fail loudly instead (:class:`BackendInfeasibleError`).
 """
 
 from typing import Callable, Dict, Optional, Tuple
@@ -28,6 +30,13 @@ from .dfa import (
 )
 from .engine import EventRunResult, as_input_array, run, run_events
 from .hybrid import HybridResult, hybrid_run
+from .lazydfa import (
+    DEFAULT_CHURN_FACTOR,
+    DEFAULT_LAZY_CAPACITY,
+    CompiledLazyDfa,
+    compile_lazydfa,
+    lazydfa_run,
+)
 from .matrix import MatrixNetwork, matrix_compile, matrix_run
 from .multistream import run_multi
 from .reference import reference_run
@@ -54,6 +63,11 @@ __all__ = [
     "dfa_feasible",
     "dfa_run",
     "dfa_table_dtype",
+    "CompiledLazyDfa",
+    "DEFAULT_CHURN_FACTOR",
+    "DEFAULT_LAZY_CAPACITY",
+    "compile_lazydfa",
+    "lazydfa_run",
     "DecodedReport",
     "decode_reports",
     "reports_by_code",
@@ -61,12 +75,24 @@ __all__ = [
     "SimResult",
     "reports_equal",
     "reports_to_array",
+    "BackendInfeasibleError",
     "Engine",
     "ENGINES",
     "FALLBACK_BACKEND",
     "get_engine",
     "resolve_backend",
 ]
+
+
+class BackendInfeasibleError(RuntimeError):
+    """An explicitly-requested backend cannot run the concrete network.
+
+    Raised by :func:`resolve_backend` instead of silently substituting
+    :data:`FALLBACK_BACKEND`: an operator who typed ``--backend dfa``
+    deserves an error, not a quiet multistream run.  ``auto`` requests
+    (and callers that opt in via ``allow_fallback=True``) keep the
+    fallback behavior.
+    """
 
 
 class Engine:
@@ -161,6 +187,14 @@ ENGINES: Dict[str, Engine] = {
         feasible=dfa_feasible,
         streaming_only=True,
     ),
+    # The lazy hybrid needs no feasibility proof: its subset cache is
+    # LRU-bounded no matter how large the reachable subset space is.
+    "lazydfa": Engine(
+        "lazydfa",
+        prepare=compile_lazydfa,
+        execute=lazydfa_run,
+        streaming_only=True,
+    ),
 }
 
 #: Where infeasible selections land: the throughput backend that is always
@@ -186,20 +220,39 @@ def resolve_backend(
     network: Network,
     *,
     advised: str = FALLBACK_BACKEND,
+    allow_fallback: Optional[bool] = None,
 ) -> Tuple[str, Engine]:
     """Resolve a backend request against a concrete network.
 
     ``requested`` is an explicit backend name, or ``None``/``"auto"`` to
     take ``advised`` (typically ``BackendAdvisory.recommended``).  If the
     chosen engine is infeasible for ``network`` — e.g. ``dfa`` on a
-    partition whose subset construction bursts the budget — the selection
-    falls back to :data:`FALLBACK_BACKEND` rather than failing, so an
-    advisory (or an operator) can never wedge execution.  Returns the
-    ``(name, engine)`` actually selected.
+    partition whose subset construction bursts the budget — the outcome
+    depends on how the choice was made:
+
+    * ``auto``/``None`` requests fall back to :data:`FALLBACK_BACKEND`
+      silently (a stale advisory must never wedge execution);
+    * explicit requests raise :class:`BackendInfeasibleError` so the
+      operator learns their choice did not run, unless they opted into
+      substitution with ``allow_fallback=True`` (the CLI's
+      ``--backend-fallback`` flag).
+
+    ``allow_fallback=None`` means "decide by request kind" as above; a
+    boolean forces the policy either way.  Returns the ``(name, engine)``
+    actually selected.
     """
-    name = advised if requested in (None, "auto") else requested
+    explicit = requested not in (None, "auto")
+    name = requested if explicit and requested is not None else advised
     engine = get_engine(name)
     if not engine.feasible(network):
+        fallback_ok = (not explicit) if allow_fallback is None else allow_fallback
+        if not fallback_ok:
+            raise BackendInfeasibleError(
+                f"backend {name!r} was explicitly requested but is infeasible "
+                f"for this network; use --backend auto, pick a feasible "
+                f"backend, or pass --backend-fallback to accept "
+                f"{FALLBACK_BACKEND!r} substitution"
+            )
         name = FALLBACK_BACKEND
         engine = get_engine(name)
     return name, engine

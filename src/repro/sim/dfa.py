@@ -38,6 +38,7 @@ the cross-engine suite.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
@@ -124,6 +125,9 @@ class CompiledDFA:
     reports_mid: Tuple[Tuple[int, ...], ...]  # same, eod reporters removed
     subset_masks: np.ndarray  # (n_states, n_words) uint64
     _flat: Optional[List[int]] = field(default=None, repr=False, compare=False)
+    _flat_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def table_bytes(self) -> int:
@@ -135,11 +139,26 @@ class CompiledDFA:
         """Hot-loop tables: a flat Python transition list whose entries are
         pre-multiplied by ``n_classes`` (so ``state`` doubles as the row
         base and one add yields the flat index), plus the report tuples.
-        Built lazily, cached on the instance."""
-        if self._flat is None:
-            flat = self.transitions.astype(np.int64).ravel() * self.n_classes
-            self._flat = flat.tolist()
-        return self._flat, self.reports_mid, self.reports
+        Built lazily, cached on the instance.
+
+        The build is guarded by a lock: serve executes batches
+        executor-side, so two workers can race the first call on a shared
+        artifact — without the lock they would double-materialize (or, on
+        non-CPython memory models, observe a half-assigned attribute).
+        The fast path stays lock-free: ``_flat`` is assigned exactly once,
+        after the list is fully built.
+        """
+        flat = self._flat
+        if flat is None:
+            with self._flat_lock:
+                flat = self._flat
+                if flat is None:
+                    flat = (
+                        self.transitions.astype(np.int64).ravel()
+                        * self.n_classes
+                    ).tolist()
+                    self._flat = flat
+        return flat, self.reports_mid, self.reports
 
 
 def _flatten_reports(

@@ -30,12 +30,20 @@ def collect_run_stats(
     *,
     fraction: float = DEFAULT_STATS_FRACTION,
     app_run: Optional[AppRun] = None,
+    requested_backend: Optional[str] = None,
+    selected_backend: Optional[str] = None,
 ) -> RunStats:
     """All runtime statistics for one application at one profiling fraction.
 
     ``app_run`` short-circuits the registry lookup when the caller already
     holds a pipeline object (the sweep does); otherwise the shared
     :func:`~repro.experiments.pipeline.get_run` cache is used.
+
+    ``requested_backend``/``selected_backend`` record a backend execution
+    the caller performed (schema v4): what the operator asked for and the
+    engine that actually ran after feasibility resolution.  Both stay null
+    when the collection itself executed no backend — the stats document
+    never guesses.
     """
     # Deferred: the pipeline itself uses repro.stats for stage timing, so a
     # top-level import here would be circular.
@@ -114,6 +122,8 @@ def collect_run_stats(
         ap_cpu_speedup=run.ap_cpu_speedup(fraction, ap),
         resource_saving=run.resource_saving(fraction, ap),
         cost_budget=cost.budget,
+        backend_requested=requested_backend,
+        backend_selected=selected_backend,
         cost_n_classes=parent.classes.n_classes,
         cost_table_bytes_dense=parent.classes.table_bytes_dense,
         cost_table_bytes_classed=parent.classes.table_bytes_classed,

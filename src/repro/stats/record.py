@@ -115,6 +115,10 @@ class RunStats:
     resource_saving: float
     # compilability/cost analysis (repro.cost, schema v3)
     cost_budget: int = 0
+    # backend execution record (schema v4): what was asked for and what
+    # actually ran; both null when the collection executed no backend.
+    backend_requested: Optional[str] = None
+    backend_selected: Optional[str] = None
     cost_n_classes: int = 0
     cost_table_bytes_dense: int = 0
     cost_table_bytes_classed: int = 0
@@ -184,6 +188,8 @@ class RunStats:
             },
             "cost": {
                 "budget": self.cost_budget,
+                "requested_backend": self.backend_requested,
+                "selected_backend": self.backend_selected,
                 "n_classes": self.cost_n_classes,
                 "table_bytes_dense": self.cost_table_bytes_dense,
                 "table_bytes_classed": self.cost_table_bytes_classed,
@@ -236,10 +242,16 @@ def render_stats(stats: RunStats) -> str:
             f"->{p.recommended}"
             for p in stats.cost_partitions
         )
+        backend_note = ""
+        if stats.backend_selected is not None:
+            requested = stats.backend_requested or "auto"
+            backend_note = (
+                f"; ran {stats.backend_selected} (requested {requested})"
+            )
         lines.append(
             f"  cost        : {stats.cost_n_classes} classes "
             f"({stats.cost_class_compression_ratio:.1f}x table compression), "
-            f"budget {stats.cost_budget}; {verdicts}"
+            f"budget {stats.cost_budget}; {verdicts}{backend_note}"
         )
     if stats.stages:
         spans = "  ".join(

@@ -18,6 +18,7 @@ __all__ = [
     "SPAN_SCHEMA",
     "STATS_SCHEMA",
     "STATS_SCHEMA_V2",
+    "STATS_SCHEMA_V3",
     "SUPPORTED_STATS_VERSIONS",
     "SchemaError",
     "validate_serve_stats",
@@ -30,7 +31,11 @@ __all__ = [
 #: v2: added the ``semant`` section (static prediction + dead-state proofs).
 #: v3: added the ``cost`` section (DFA-safety proofs, symbol-class
 #: accounting, per-partition backend advisories — ``repro.cost``).
-SCHEMA_VERSION = 3
+#: v4: the ``cost`` section gained ``requested_backend`` /
+#: ``selected_backend`` — the engine actually chosen for execution (null
+#: when the collection did not execute a backend), so a stats export can
+#: no longer hide a feasibility substitution.
+SCHEMA_VERSION = 4
 
 #: Bump on any backwards-incompatible change to the match server's exported
 #: statistics document (``repro.serve``).
@@ -100,6 +105,8 @@ STATS_SCHEMA = {
     },
     "cost": {
         "budget": "int",
+        "requested_backend": "str?",
+        "selected_backend": "str?",
         "n_classes": "int",
         "table_bytes_dense": "int",
         "table_bytes_classed": "int",
@@ -121,15 +128,25 @@ STATS_SCHEMA = {
     "stages": ("array", SPAN_SCHEMA),
 }
 
+#: The v3 document shape (the ``cost`` section without the v4 backend
+#: fields); archived v3 exports still validate strictly under their own
+#: version instead of failing with missing-field errors.
+STATS_SCHEMA_V3 = dict(STATS_SCHEMA)
+STATS_SCHEMA_V3["cost"] = {
+    key: spec
+    for key, spec in STATS_SCHEMA["cost"].items()
+    if key not in ("requested_backend", "selected_backend")
+}
+
 #: The v2 document shape (everything above minus the ``cost`` section);
 #: kept so archived v2 exports still validate strictly under their own
 #: version instead of failing with a missing-section error.
-STATS_SCHEMA_V2 = {key: spec for key, spec in STATS_SCHEMA.items() if key != "cost"}
+STATS_SCHEMA_V2 = {key: spec for key, spec in STATS_SCHEMA_V3.items() if key != "cost"}
 
 #: Versions :func:`validate_stats` accepts, newest first.
-SUPPORTED_STATS_VERSIONS = (3, 2)
+SUPPORTED_STATS_VERSIONS = (4, 3, 2)
 
-_SCHEMA_BY_VERSION = {3: STATS_SCHEMA, 2: STATS_SCHEMA_V2}
+_SCHEMA_BY_VERSION = {4: STATS_SCHEMA, 3: STATS_SCHEMA_V3, 2: STATS_SCHEMA_V2}
 
 #: The match server's statistics document (``repro.serve``): configuration
 #: echo, request/reply/error counters, micro-batch shape, and the server's

@@ -43,6 +43,7 @@ from repro.nfa.symbolset import ALPHABET_SIZE, SymbolSet
 from repro.sim import (
     ENGINES,
     FALLBACK_BACKEND,
+    BackendInfeasibleError,
     DfaInfeasibleError,
     compile_dfa,
     dfa_feasible,
@@ -280,11 +281,32 @@ class TestEngineRegistry:
             name, _ = resolve_backend(requested, network, advised="dfa")
             assert name == "dfa"
 
-    def test_infeasible_request_falls_back(self):
+    def test_infeasible_explicit_request_raises(self):
+        # The silent-substitution regression: an explicitly requested
+        # engine that cannot run must fail loudly, never quietly hand the
+        # operator a different backend's numbers.
         network = _blowup_network()
-        name, engine = resolve_backend("dfa", network)
+        with pytest.raises(BackendInfeasibleError, match="explicitly requested"):
+            resolve_backend("dfa", network)
+        with pytest.raises(BackendInfeasibleError):
+            resolve_backend("dfa", network, allow_fallback=False)
+
+    def test_infeasible_explicit_request_with_fallback_substitutes(self):
+        network = _blowup_network()
+        name, engine = resolve_backend("dfa", network, allow_fallback=True)
         assert name == FALLBACK_BACKEND
         assert engine is ENGINES[FALLBACK_BACKEND]
+
+    def test_infeasible_advice_still_falls_back_silently(self):
+        network = _blowup_network()
+        for requested in (None, "auto"):
+            name, engine = resolve_backend(requested, network, advised="dfa")
+            assert name == FALLBACK_BACKEND
+            assert engine is ENGINES[FALLBACK_BACKEND]
+        # ... unless the caller explicitly forbids any substitution.
+        with pytest.raises(BackendInfeasibleError):
+            resolve_backend("auto", network, advised="dfa",
+                            allow_fallback=False)
 
     @settings(max_examples=15, deadline=None)
     @given(seeds, input_lengths)
@@ -323,3 +345,22 @@ class TestRegistryApps:
         assert name == (advised if feasible else FALLBACK_BACKEND)
         forced, _ = app_run.select_backend("bitpacked", 0.01)
         assert forced == "bitpacked"
+
+    def test_auto_selects_lazydfa_on_dfa_unsafe_app(self):
+        # Acceptance pin: on a DFA-unsafe streaming app the calibrated
+        # cost model must rank the hybrid ahead of multistream, and
+        # --backend auto must follow that ranking (DESIGN.md §14).
+        app_run = get_run("LV", _CONFIG)
+        assert not dfa_feasible(app_run.network)
+        advisory = app_run.backend_advisory(0.01)
+        assert advisory.recommended == "lazydfa"
+        name, engine = app_run.select_backend("auto", 0.01)
+        assert name == "lazydfa"
+        assert engine is ENGINES["lazydfa"]
+
+    def test_pipeline_explicit_infeasible_raises(self):
+        app_run = get_run("LV", _CONFIG)
+        with pytest.raises(BackendInfeasibleError):
+            app_run.select_backend("dfa", 0.01)
+        name, _ = app_run.select_backend("dfa", 0.01, allow_fallback=True)
+        assert name == FALLBACK_BACKEND

@@ -53,6 +53,31 @@ class TestElementValidation:
         with pytest.raises(IndexError):
             wrapped.connect_enable(5, 0)
 
+    def test_overwired_not_rejected_at_direct_construction(self):
+        # Regression: the simulator's NOT evaluation reads only the first
+        # input, so an over-wired NOT that slipped past Gate.__post_init__
+        # (here: by mutating the inputs list afterwards) used to be
+        # silently mis-evaluated.  The ElementNetwork constructor is the
+        # last gate and must reject it.
+        gate = Gate(GateKind.NOT, inputs=[("ste", 0)])
+        gate.inputs.append(("ste", 1))
+        with pytest.raises(ValueError, match="NOT gate takes exactly one"):
+            ElementNetwork(_ste_net(b"a", b"b"), elements=[gate])
+
+    def test_overwired_not_rejected_at_add_gate(self):
+        wrapped = ElementNetwork(_ste_net(b"a", b"b"))
+        gate = Gate(GateKind.NOT, inputs=[("ste", 0)])
+        gate.inputs.append(("ste", 1))
+        with pytest.raises(ValueError, match="NOT gate takes exactly one"):
+            wrapped.add_gate(gate)
+        assert wrapped.n_elements == 0  # the malformed gate was not kept
+
+    def test_emptied_gate_rejected_at_construction(self):
+        gate = Gate(GateKind.OR, inputs=[("ste", 0)])
+        gate.inputs.clear()
+        with pytest.raises(ValueError, match="at least one input"):
+            ElementNetwork(_ste_net(b"a"), elements=[gate])
+
 
 class TestCounterSemantics:
     def _counting_net(self, target, mode=CounterMode.LATCH):

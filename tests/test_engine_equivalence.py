@@ -1,13 +1,17 @@
-"""Cross-engine equivalence: all five engines report bit-identically.
+"""Cross-engine equivalence: all engines report bit-identically.
 
-The five execution paths — the pure-Python reference, the bit-packed scalar
-engine, the boolean-matrix engine, the multi-stream lock-step engine, and
-the table-driven DFA engine — implement the same homogeneous-NFA semantics
-through completely different datapaths.  These property tests pin them to
-each other on random networks (cyclic, eod reporters, multiple automata)
-and random inputs, including both internal dispatch paths of the
-multi-stream engine; the ``dfa`` arm additionally sweeps every DFA-safe
-registry application at the standard bench scale.
+The execution paths — the pure-Python reference, the bit-packed scalar
+engine, the boolean-matrix engine, the multi-stream lock-step engine, the
+table-driven DFA engine, and the bounded-subset lazy-DFA hybrid —
+implement the same homogeneous-NFA semantics through completely different
+datapaths.  These property tests pin them to each other on random
+networks (cyclic, eod reporters, multiple automata) and random inputs,
+including both internal dispatch paths of the multi-stream engine and the
+hybrid under adversarially tiny LRU caps (capacity 1 and 2, where every
+transition evicts and the fallback path carries the run); the ``dfa`` arm
+additionally sweeps every DFA-safe registry application at the standard
+bench scale.  Degenerate inputs — empty and single-symbol — get explicit
+parity arms across every registered engine (reports *and* witness masks).
 """
 
 import random
@@ -16,10 +20,13 @@ import pytest
 from hypothesis import given, settings
 
 from repro.sim import (
+    ENGINES,
     compile_dfa,
+    compile_lazydfa,
     compile_network,
     dfa_feasible,
     dfa_run,
+    lazydfa_run,
     matrix_compile,
     matrix_run,
     reference_run,
@@ -70,6 +77,15 @@ class TestFourEngineEquivalence:
         assert reports_equal(multi.reports, expected)
         if dfa_feasible(network):  # the dfa arm covers every safe network
             assert reports_equal(dfa_run(compile_dfa(network), data).reports, expected)
+        # The hybrid needs no feasibility gate; capacity 1 forces an
+        # eviction on every distinct subset, so the fallback/re-entry path
+        # carries most of the run.
+        for capacity in (1, 2, None):
+            lazy = (compile_lazydfa(network) if capacity is None
+                    else compile_lazydfa(network, capacity=capacity))
+            assert reports_equal(
+                lazydfa_run(lazy, data).reports, expected
+            ), f"capacity={capacity}"
 
     @settings(max_examples=40, deadline=None)
     @given(seeds)
@@ -87,6 +103,16 @@ class TestFourEngineEquivalence:
         if dfa_feasible(network):
             dfa = dfa_run(compile_dfa(network), data, track_enabled=True)
             assert (scalar.ever_enabled == dfa.ever_enabled).all()
+        # Witness recovery from cached subset keys must survive eviction
+        # churn: the visited-subset OR is taken per position, not from the
+        # (lossy) cache contents.
+        for capacity in (1, 2, None):
+            lazy = (compile_lazydfa(network) if capacity is None
+                    else compile_lazydfa(network, capacity=capacity))
+            hybrid = lazydfa_run(lazy, data, track_enabled=True)
+            assert (scalar.ever_enabled == hybrid.ever_enabled).all(), (
+                f"capacity={capacity}"
+            )
 
     @settings(max_examples=40, deadline=None)
     @given(seeds)
@@ -107,3 +133,45 @@ class TestFourEngineEquivalence:
                 assert reports_equal(got.reports, want.reports), path
                 assert (got.ever_enabled == want.ever_enabled).all(), path
                 assert got.cycles == want.cycles
+
+
+class TestDegenerateInputs:
+    """Empty and single-symbol streams across every registered engine.
+
+    The boundary positions are where engines disagree first: an empty
+    stream must produce zero reports and an all-zero witness mask without
+    stepping any datapath, and a one-symbol stream is simultaneously the
+    first *and* last position (eod reporters fire, mid-only bookkeeping
+    must not).  Every entry in the registry — not a hand-kept list — is
+    pinned to the reference engine on both, so a sixth engine cannot land
+    without inheriting the parity bar.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_empty_input_parity(self, seed):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        expected = reference_run(network, b"")
+        assert expected.reports.shape[0] == 0
+        for name, engine in ENGINES.items():
+            if not engine.feasible(network):
+                continue
+            got = engine.run_network(network, b"", track_enabled=True)
+            assert got.reports.shape[0] == 0, name
+            assert (got.ever_enabled == expected.ever_enabled).all(), name
+            assert not got.ever_enabled.any(), name
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_single_symbol_parity(self, seed):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, 1)
+        expected = reference_run(network, data)
+        for name, engine in ENGINES.items():
+            if not engine.feasible(network):
+                continue
+            got = engine.run_network(network, data, track_enabled=True)
+            assert reports_equal(got.reports, expected.reports), name
+            assert (got.ever_enabled == expected.ever_enabled).all(), name

@@ -93,3 +93,51 @@ class TestGetRunThreadSafety:
         # Double-checked locking admitted exactly one compute per stage.
         assert run.stats.calls("build") == 1
         assert run.stats.calls("compile") == 1
+
+
+class TestCompiledDfaFlatTableThreadSafety:
+    """The CompiledDFA hot-loop table build races (repro.sim.dfa).
+
+    ``run_tables`` materializes its flat transition list lazily; the serve
+    executor calls ``dfa_run`` from several workers at once, so the first
+    batch after compilation races threads on that build.  The regression:
+    the build used to be unguarded, so racing threads could each build a
+    list and — worse — a reader could observe a partially initialized
+    object had the assignment not been a single post-build store.  Pinned
+    here: every racing thread gets the *same* list object back and the
+    concurrent runs stay bit-identical to a serial run.
+    """
+
+    def test_run_tables_race_yields_one_list(self):
+        from repro.experiments.pipeline import clear_cache, get_run
+
+        clear_cache()
+        run = get_run("Bro217", CONFIG)  # DFA-safe at this operating point
+        compiled = run.compiled_dfa
+        flats = [None] * N_THREADS
+
+        def worker(index):
+            flats[index], _, _ = compiled.run_tables()
+
+        _hammer(worker)
+        assert all(flat is flats[0] for flat in flats)
+
+    def test_concurrent_dfa_runs_match_serial(self):
+        from repro.experiments.pipeline import clear_cache, get_run
+        from repro.sim import compile_dfa, dfa_run, reports_equal
+
+        clear_cache()
+        run = get_run("Bro217", CONFIG)
+        data = run.test_input
+        expected = dfa_run(run.compiled_dfa, data)
+        # A fresh artifact per round so every round races the lazy build.
+        for _ in range(3):
+            target = compile_dfa(run.network)
+            results = [None] * N_THREADS
+
+            def worker(index, target=target):
+                results[index] = dfa_run(target, data)
+
+            _hammer(worker)
+            for result in results:
+                assert reports_equal(result.reports, expected.reports)

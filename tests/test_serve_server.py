@@ -391,6 +391,24 @@ class TestStatsAndLifecycle:
         assert state.warmup(["toy"]) == ["toy"]
         assert state.timer.calls("warmup") == 1
 
+    def test_lazydfa_backend_serves_injected_network(self):
+        from repro.sim import run as scalar_run
+        from repro.sim.compiled import compile_network
+
+        state = ServeState(backend="lazydfa")
+        network = _chain_network(b"ab")
+        entry = state.add_network("toy", network)
+        assert entry.backend == "lazydfa"
+        assert entry.lazydfa is not None
+        data = b"xabababx"
+        (got,) = entry.execute_batch([data])
+        expected = scalar_run(compile_network(network), data)
+        assert (got.reports == expected.reports).all()
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="serve backend"):
+            ServeState(backend="systolic")
+
 
 class TestLoadgen:
     def test_closed_loop_counts_every_request(self, tmp_path):

@@ -121,22 +121,41 @@ class TestSchema:
         with pytest.raises(SchemaError, match="refills"):
             validate_stats(document)
 
-    def test_v3_document_carries_cost_section(self, bro_stats):
+    def test_v4_document_carries_cost_section(self, bro_stats):
         document = bro_stats.to_json()
-        assert document["schema_version"] == 3
+        assert document["schema_version"] == 4
         cost = document["cost"]
         assert cost["budget"] > 0 and cost["n_classes"] >= 1
         assert cost["table_bytes_dense"] >= cost["table_bytes_classed"] > 0
+        # v4: the backend-execution record is present (and nullable — this
+        # collection ran no backend, so the document does not guess).
+        assert cost["requested_backend"] is None
+        assert cost["selected_backend"] is None
         names = [p["name"] for p in cost["partitions"]]
         assert "network" in names
         for partition in cost["partitions"]:
             assert partition["recommended"]
             assert (partition["dfa_states"] is None) == (not partition["dfa_safe"])
 
-    def test_v3_document_missing_cost_rejected(self, bro_stats):
+    def test_v4_document_missing_cost_rejected(self, bro_stats):
         document = bro_stats.to_json()
         del document["cost"]
         with pytest.raises(SchemaError, match="cost"):
+            validate_stats(document)
+
+    def test_v3_document_validates_under_v3(self, bro_stats):
+        """Archived pre-backend-record exports keep validating under their
+        own version."""
+        document = bro_stats.to_json()
+        del document["cost"]["requested_backend"]
+        del document["cost"]["selected_backend"]
+        document["schema_version"] = 3
+        validate_stats(document)
+
+    def test_v3_document_with_backend_record_rejected(self, bro_stats):
+        document = bro_stats.to_json()
+        document["schema_version"] = 3
+        with pytest.raises(SchemaError, match="backend"):
             validate_stats(document)
 
     def test_v2_document_validates_under_v2(self, bro_stats):

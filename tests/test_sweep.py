@@ -46,13 +46,27 @@ class TestRunSweep:
 
     def test_backend_execution_populates_row(self, small_config):
         (row,) = run_sweep(["Bro217"], small_config, jobs=1, backend="auto")
-        assert row.backend in ("reference", "bitpacked", "multistream", "dfa")
+        assert row.backend in (
+            "reference", "bitpacked", "multistream", "dfa", "lazydfa"
+        )
         assert row.backend_mb_s > 0.0
         (forced,) = run_sweep(
             ["Bro217"], small_config, jobs=1, backend="bitpacked"
         )
         assert forced.backend == "bitpacked"
         assert forced.advised_backend == row.advised_backend
+
+    def test_explicit_infeasible_backend_fails_the_row(self, small_config):
+        # LV bursts the subset budget, so a forced dfa request must fail
+        # its row loudly (wrapped per-app by the pool boundary) ...
+        with pytest.raises(SweepError, match="LV"):
+            run_sweep(["LV"], small_config, jobs=1, backend="dfa")
+        # ... unless the operator opted into substitution.
+        (row,) = run_sweep(
+            ["LV"], small_config, jobs=1, backend="dfa", backend_fallback=True
+        )
+        assert row.backend == "multistream"
+        assert row.backend_mb_s > 0.0
 
     def test_unknown_app_rejected(self, small_config):
         with pytest.raises(KeyError, match="nope"):
