@@ -24,6 +24,12 @@ Commands:
   symbol-class table compression, and the calibrated per-backend cost
   model, fused into per-partition advisories (SPAP-C diagnostics);
   ``--check`` replays every safety proof through real determinization.
+* ``reduce [ABBR ...|--all]`` — equivalence-preserving reduction
+  (``repro.reduce``): forward/backward bisimulation partition refinement
+  fused with semant's dead/never-reporting proofs, re-priced through the
+  cost model (SPAP-R diagnostics); ``--check`` replays the reduced
+  network through the reference engine and compares lifted reports and
+  witness masks against the unreduced ground truth (SPAP-R001).
 * ``serve --apps A,B [--port N|--unix PATH]`` — the long-running match
   service (``repro.serve``): framed requests in, micro-batched
   multi-stream dispatches out.
@@ -43,6 +49,9 @@ the execution engine per DESIGN.md §13-§14.  ``auto`` follows the cost
 advisory with silent multistream fallback when the choice is infeasible;
 an explicit name fails loudly when infeasible unless ``--backend-fallback``
 opts into the substitution.
+``--reduce`` on ``run-app``, ``sweep``, and ``serve`` routes execution
+through the SPAP-R-reduced network (DESIGN.md §15); reports are lifted
+back to original state ids, so outputs stay bit-identical.
 """
 
 from __future__ import annotations
@@ -144,6 +153,13 @@ def _cmd_run_app(args) -> int:
           f"-> {baseline.cycles / spap.cycles:.2f}x")
     print(f"  AP-CPU      : {1e6 * cpu.cpu_seconds:.1f} us handler "
           f"-> {baseline.seconds(ap) / cpu.seconds(ap):.2f}x")
+    if args.reduce:
+        reduction = run.reduced
+        print(f"  reduce      : {reduction.parent_n_states} -> "
+              f"{reduction.n_states} states "
+              f"({100 * reduction.saving_fraction:.1f}% saved; "
+              f"{reduction.n_dead_stripped} dead, "
+              f"{reduction.n_backward_merged} backward-merged)")
     if args.backend is not None:
         import time as _time
 
@@ -153,16 +169,20 @@ def _cmd_run_app(args) -> int:
             name, engine = run.select_backend(
                 args.backend, args.profile,
                 allow_fallback=True if args.backend_fallback else None,
+                reduce=args.reduce,
             )
         except BackendInfeasibleError as err:
             print(f"run-app: {err}", file=sys.stderr)
             return 2
-        prepared = run.prepared_for(name)
+        prepared = (run.reduced_prepared_for(name) if args.reduce
+                    else run.prepared_for(name))
         data = run.test_input
         engine.run(prepared, data)  # warm lazy tables/dispatch paths
         began = _time.perf_counter()
         result = engine.run(prepared, data)
         elapsed = _time.perf_counter() - began
+        if args.reduce:
+            result = run.reduced.lift_result(result)
         mb_s = len(data) / elapsed / 1e6 if elapsed > 0 else 0.0
         note = "" if name == args.backend or args.backend == "auto" \
             else f" (requested {args.backend}, infeasible)"
@@ -203,7 +223,8 @@ def _cmd_sweep(args) -> int:
         rows = run_sweep(targets, _config_for(args),
                          fraction=args.profile, jobs=args.jobs,
                          backend=args.backend,
-                         backend_fallback=args.backend_fallback)
+                         backend_fallback=args.backend_fallback,
+                         reduce=args.reduce)
     except SweepError as err:
         print(f"sweep failed at {err} (other applications were not run to "
               "completion; --no-verify skips the fail-fast checks)",
@@ -226,6 +247,10 @@ def _cmd_sweep(args) -> int:
               f"{summary['total_intermediate_reports']} intermediate reports, "
               f"{summary['total_queue_refills']} queue refills, "
               f"{summary['total_device_bytes']} device bytes")
+        print(f"reduce: mean saving "
+              f"{100 * summary['mean_reduce_saving']:.1f}%, "
+              f"geomean state ratio "
+              f"{summary['geomean_reduce_state_ratio']:.3f}")
     return 0
 
 
@@ -376,6 +401,48 @@ def _cmd_cost(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_reduce(args) -> int:
+    from .cost.explore import DEFAULT_DFA_BUDGET
+    from .reduce.app import reduce_app
+
+    budget = args.budget if args.budget is not None else DEFAULT_DFA_BUDGET
+    mode = "aggressive" if args.aggressive else "exact"
+
+    if args.all:
+        targets: Optional[List[str]] = app_names()
+    elif args.apps:
+        targets = _resolve_apps(args.apps)
+        if targets is None:
+            return 2
+    else:
+        print("reduce: name at least one application or pass --all",
+              file=sys.stderr)
+        return 2
+
+    config = default_config()
+    failed = 0
+    payload = []
+    for abbr in targets:
+        outcome = reduce_app(abbr, config, mode=mode,
+                             budget=budget, check=args.check)
+        if args.json:
+            payload.append(outcome.to_json())
+        else:
+            print(outcome.render())
+            report = outcome.report
+            if report.errors or (report.warnings and args.verbose):
+                print(report.render_text(verbose=args.verbose))
+        failed += 0 if outcome.ok else 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload, indent=2))
+    elif len(targets) > 1:
+        print(f"{len(targets) - failed}/{len(targets)} applications "
+              "reduced sound")
+    return 1 if failed else 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -392,7 +459,7 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue_depth, workers=args.workers,
         max_apps=args.max_apps, warmup=not args.no_warmup,
         allow_shutdown=not args.no_remote_shutdown,
-        backend=args.backend,
+        backend=args.backend, reduce=args.reduce,
     )
 
     async def _serve() -> None:
@@ -498,6 +565,10 @@ def main(argv: Optional[list] = None) -> int:
                             help="accept multistream substitution when an "
                                  "explicitly requested backend is infeasible "
                                  "instead of failing")
+    run_parser.add_argument("--reduce", action="store_true",
+                            help="run the backend on the SPAP-R-reduced "
+                                 "network (reports lifted to original ids) "
+                                 "and print the reduction summary")
 
     figure_parser = sub.add_parser("figure", help="regenerate one table/figure")
     figure_parser.add_argument("name", help=f"one of: {', '.join(_FIGURES)}")
@@ -535,6 +606,10 @@ def main(argv: Optional[list] = None) -> int:
                               help="accept multistream substitution on apps "
                                    "where an explicitly requested backend is "
                                    "infeasible instead of failing their rows")
+    sweep_parser.add_argument("--reduce", action="store_true",
+                              help="route --backend executions through the "
+                                   "SPAP-R-reduced network ('+' in the "
+                                   "Reduce column marks reduced runs)")
 
     stats_parser = sub.add_parser(
         "stats",
@@ -611,6 +686,32 @@ def main(argv: Optional[list] = None) -> int:
                                   "determinization + reference simulation "
                                   "(the SPAP-C001 differential)")
 
+    reduce_parser = sub.add_parser(
+        "reduce",
+        help="equivalence-preserving reduction: bisimulation merges, "
+             "dead-state strips, cost re-pricing (repro.reduce)",
+    )
+    reduce_parser.add_argument("apps", nargs="*",
+                               help="application abbreviations (see list-apps)")
+    reduce_parser.add_argument("--all", action="store_true",
+                               help="reduce every registry application")
+    reduce_parser.add_argument("--json", action="store_true",
+                               help="emit a JSON report instead of text")
+    reduce_parser.add_argument("--verbose", action="store_true",
+                               help="print warnings and fix hints, not just errors")
+    reduce_parser.add_argument("--aggressive", action="store_true",
+                               help="also apply the report-exact (witness-"
+                                    "lossy) rules: never-reporting strips "
+                                    "and forward bisimulation")
+    reduce_parser.add_argument("--budget", type=int, default=None,
+                               help="subset-construction budget for the "
+                                    "cost re-pricing (default 4096)")
+    reduce_parser.add_argument("--check", action="store_true",
+                               help="replay the reduced network through the "
+                                    "reference engine and compare lifted "
+                                    "reports/witness masks against the "
+                                    "unreduced ground truth (SPAP-R001)")
+
     serve_parser = sub.add_parser(
         "serve",
         help="long-running match service with micro-batching (repro.serve)",
@@ -639,6 +740,9 @@ def main(argv: Optional[list] = None) -> int:
                                    "dfa (where feasible), lazydfa (the "
                                    "bounded-subset hybrid), or auto "
                                    "(per-app cost advisory)")
+    serve_parser.add_argument("--reduce", action="store_true",
+                              help="serve the SPAP-R-reduced networks "
+                                   "(reports lifted to original state ids)")
     serve_parser.add_argument("--no-warmup", action="store_true",
                               help="skip compiling --apps before binding")
     serve_parser.add_argument("--no-remote-shutdown", action="store_true",
@@ -694,6 +798,7 @@ def main(argv: Optional[list] = None) -> int:
         "verify": _cmd_verify,
         "semant": _cmd_semant,
         "cost": _cmd_cost,
+        "reduce": _cmd_reduce,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
     }

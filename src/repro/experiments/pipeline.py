@@ -83,6 +83,11 @@ class AppRun:
         # keep this module import-cycle-free (repro.cost times itself
         # through repro.stats).
         self._cost: Dict[Tuple[float, int], object] = {}
+        # repro.reduce results keyed by mode, and per-(mode, backend)
+        # compiled artifacts of the reduced network; loosely typed for the
+        # same import-cycle reason.
+        self._reductions: Dict[str, object] = {}
+        self._reduced_prepared: Dict[Tuple[str, str], object] = {}
 
     # -- construction stages ------------------------------------------------------
 
@@ -294,6 +299,51 @@ class AppRun:
             )
         return self._cost[key]
 
+    def reduction(self, mode: str = "exact"):
+        """The cached :class:`~repro.reduce.transform.ReductionResult`.
+
+        ``exact`` (the ``--reduce`` default) preserves reports and witness
+        masks bit for bit; ``aggressive`` preserves the report stream only.
+        Reuses the cached semant facts and is timed under the ``reduce``
+        stage.
+        """
+        # Deferred: repro.reduce.app imports this module for the AppRun type.
+        from ..reduce.transform import reduce_network
+
+        if mode not in self._reductions:
+            with self._lock:
+                if mode not in self._reductions:
+                    facts = self.semantics  # timed under its own stage
+                    with self.stats.stage("reduce"):
+                        self._reductions[mode] = reduce_network(
+                            self.network, facts, mode=mode
+                        )
+        return self._reductions[mode]
+
+    @property
+    def reduced(self):
+        """The exact-mode reduction (see :meth:`reduction`)."""
+        return self.reduction("exact")
+
+    def reduced_prepared_for(self, backend: str, mode: str = "exact") -> object:
+        """The cached executable artifact of the *reduced* network."""
+        key = (mode, backend)
+        if key not in self._reduced_prepared:
+            with self._lock:
+                if key not in self._reduced_prepared:
+                    network = self.reduction(mode).network
+                    with self.stats.stage("compile_reduced"):
+                        if backend == "reference":
+                            prepared: object = network
+                        elif backend == "dfa":
+                            prepared = compile_dfa(network)
+                        elif backend == "lazydfa":
+                            prepared = compile_lazydfa(network)
+                        else:
+                            prepared = compile_network(network)
+                    self._reduced_prepared[key] = prepared
+        return self._reduced_prepared[key]
+
     # -- backend selection (DESIGN.md §13) -----------------------------------------
 
     def backend_advisory(self, fraction: float, budget: Optional[int] = None):
@@ -307,6 +357,7 @@ class AppRun:
         budget: Optional[int] = None,
         *,
         allow_fallback: Optional[bool] = None,
+        reduce: bool = False,
     ) -> Tuple[str, Engine]:
         """Resolve a backend request for this run's network.
 
@@ -318,12 +369,18 @@ class AppRun:
         :class:`~repro.sim.BackendInfeasibleError` unless
         ``allow_fallback=True`` opts into substitution, so the returned
         name is the engine that will actually execute.
+
+        With ``reduce=True`` feasibility is checked against the *reduced*
+        network (the one that will execute) — a reduction can make a
+        DFA-unsafe network safe, so the reduced check is both necessary
+        and an opportunity.
         """
         advised = FALLBACK_BACKEND
         if requested in (None, "auto"):
             advised = self.backend_advisory(fraction, budget).recommended
+        subject = self.reduction().network if reduce else self.network
         return resolve_backend(
-            requested, self.network, advised=advised,
+            requested, subject, advised=advised,
             allow_fallback=allow_fallback,
         )
 
@@ -346,21 +403,32 @@ class AppRun:
         budget: Optional[int] = None,
         track_enabled: bool = False,
         allow_fallback: Optional[bool] = None,
+        reduce: bool = False,
     ) -> Tuple[str, SimResult]:
         """Execute the test input (or ``input_data``) on a selected backend.
 
         Returns ``(backend_actually_used, result)``; results are
         bit-identical across backends by the cross-engine property gate.
+        With ``reduce=True`` the engine executes the exact-mode reduced
+        network and the result is lifted back to parent global state ids,
+        so reports and witness masks stay bit-identical to an unreduced
+        run (the SPAP-R001 guarantee).
         """
         name, engine = self.select_backend(
-            requested, fraction, budget, allow_fallback=allow_fallback
+            requested, fraction, budget, allow_fallback=allow_fallback,
+            reduce=reduce,
+        )
+        prepared = (
+            self.reduced_prepared_for(name) if reduce else self.prepared_for(name)
         )
         with self.stats.stage(f"run_{name}"):
             result = engine.run(
-                self.prepared_for(name),
+                prepared,
                 self.test_input if input_data is None else input_data,
                 track_enabled=track_enabled,
             )
+        if reduce:
+            result = self.reduction().lift_result(result)
         return name, result
 
     # -- derived metrics -----------------------------------------------------------

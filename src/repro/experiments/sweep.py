@@ -92,6 +92,12 @@ class AppSweepRow:
     ap_cpu_speedup: float
     resource_saving: float
     seconds: float  # wall time spent computing this row
+    # SPAP-R reduction (repro.reduce): always measured (the exact-mode
+    # transform is cheap and cached); ``reduced`` records whether the
+    # backend execution above actually ran on the reduced network.
+    n_states_reduced: int = 0
+    reduce_saving: float = 0.0
+    reduced: bool = False
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -100,7 +106,8 @@ class AppSweepRow:
 def sweep_app(abbr: str, config: ExperimentConfig,
               fraction: float = DEFAULT_PROFILE_FRACTION,
               backend: Optional[str] = None,
-              backend_fallback: bool = False) -> AppSweepRow:
+              backend_fallback: bool = False,
+              reduce: bool = False) -> AppSweepRow:
     """Compute one application's row (cached via the pipeline's ``AppRun``).
 
     ``backend`` requests a backend execution over the test input:
@@ -111,6 +118,12 @@ def sweep_app(abbr: str, config: ExperimentConfig,
     ``backend_fallback`` opts into multistream substitution.  ``None``
     skips execution — the Backend column then shows the advisory's
     recommendation, as before.
+
+    ``reduce`` routes the backend execution through the SPAP-R-reduced
+    network (report-equivalent by construction; DESIGN.md §15), so the
+    MB/s column measures the engine on the smaller state space.  The
+    reduction columns themselves (``n_states_reduced``/``reduce_saving``)
+    are always populated — the exact-mode transform is cheap and cached.
     """
     from ..stats.collect import collect_run_stats
 
@@ -124,8 +137,12 @@ def sweep_app(abbr: str, config: ExperimentConfig,
         name, engine = app_run.select_backend(
             backend, fraction,
             allow_fallback=True if backend_fallback else None,
+            reduce=reduce,
         )
-        prepared = app_run.prepared_for(name)
+        prepared = (
+            app_run.reduced_prepared_for(name) if reduce
+            else app_run.prepared_for(name)
+        )
         data = app_run.test_input
         engine.run(prepared, data)  # warm lazy tables/dispatch paths
         t0 = time.perf_counter()
@@ -171,17 +188,20 @@ def sweep_app(abbr: str, config: ExperimentConfig,
         ap_cpu_speedup=stats.ap_cpu_speedup,
         resource_saving=stats.resource_saving,
         seconds=time.perf_counter() - began,
+        n_states_reduced=stats.reduce_states_after,
+        reduce_saving=stats.reduce_saving,
+        reduced=reduce and used_for_stats is not None,
     )
     return row
 
 
 def _sweep_worker(
-    payload: Tuple[str, ExperimentConfig, float, Optional[str], bool]
+    payload: Tuple[str, ExperimentConfig, float, Optional[str], bool, bool]
 ) -> AppSweepRow:
     """Top-level (picklable) worker: one application in one process."""
-    abbr, config, fraction, backend, backend_fallback = payload
+    abbr, config, fraction, backend, backend_fallback, reduce = payload
     try:
-        return sweep_app(abbr, config, fraction, backend, backend_fallback)
+        return sweep_app(abbr, config, fraction, backend, backend_fallback, reduce)
     except Exception as err:
         raise SweepError(abbr, err) from err
 
@@ -194,6 +214,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
     backend_fallback: bool = False,
+    reduce: bool = False,
 ) -> List[AppSweepRow]:
     """Sweep ``apps`` (default: the whole registry), ``jobs``-wide.
 
@@ -203,7 +224,8 @@ def run_sweep(
     test input per app on the selected engine — see :func:`sweep_app`;
     ``backend_fallback`` permits multistream substitution for explicit
     requests that are infeasible on some apps (otherwise those apps fail
-    their rows loudly).
+    their rows loudly).  ``reduce`` routes those executions through the
+    SPAP-R-reduced network.
     """
     targets = list(apps) if apps is not None else app_names()
     for abbr in targets:
@@ -213,7 +235,8 @@ def run_sweep(
     if jobs is None:
         jobs = os.cpu_count() or 1
     payloads = [
-        (abbr, cfg, fraction, backend, backend_fallback) for abbr in targets
+        (abbr, cfg, fraction, backend, backend_fallback, reduce)
+        for abbr in targets
     ]
     if jobs <= 1 or len(targets) <= 1:
         return [_sweep_worker(payload) for payload in payloads]
@@ -239,6 +262,7 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
             row.n_classes,
             f"{row.backend}{'*' if row.dfa_safe else ''}",
             f"{row.backend_mb_s:.1f}" if row.backend_mb_s > 0 else "-",
+            f"{100.0 * row.reduce_saving:.1f}%{'+' if row.reduced else ''}",
             f"{row.spap_speedup:.2f}x",
             f"{row.ap_cpu_speedup:.2f}x",
             f"{100.0 * row.resource_saving:.1f}%",
@@ -250,10 +274,13 @@ def render_sweep(rows: Sequence[AppSweepRow]) -> str:
     # --backend was requested, the advisory's recommendation); '*' marks
     # networks proven DFA-safe within the default subset-construction
     # budget (repro.cost).  MB/s is '-' unless a backend was executed.
+    # Reduce column: SPAP-R exact-mode state saving; '+' marks rows whose
+    # backend execution actually ran on the reduced network (--reduce).
+    # "Saved" remains the paper's Fig-10 *resource* saving — distinct.
     return render_table(
         ["App", "Group", "States", "NFAs", "Hot", "Batches", "Stalls",
          "IRs", "Refills", "PredAcc", "StatAcc", "Classes", "Backend",
-         "MB/s", "SpAP", "AP-CPU", "Saved", "Wall"],
+         "MB/s", "Reduce", "SpAP", "AP-CPU", "Saved", "Wall"],
         body,
     )
 
@@ -271,6 +298,15 @@ def sweep_summary(rows: Sequence[AppSweepRow]) -> dict:
         "geomean_spap_speedup": geometric_mean(row.spap_speedup for row in rows),
         "geomean_ap_cpu_speedup": geometric_mean(row.ap_cpu_speedup for row in rows),
         "mean_resource_saving": sum(row.resource_saving for row in rows) / len(rows),
+        "mean_reduce_saving": sum(row.reduce_saving for row in rows) / len(rows),
+        # State ratio after/before per app (1.0 when nothing was reducible
+        # or the network is empty), geomean'd like the speedups.
+        "geomean_reduce_state_ratio": geometric_mean(
+            (row.n_states_reduced / row.n_states)
+            if row.n_states and row.n_states_reduced
+            else 1.0
+            for row in rows
+        ),
         "mean_prediction_accuracy":
             sum(row.prediction_accuracy for row in rows) / len(rows),
         "mean_static_accuracy":

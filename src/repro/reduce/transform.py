@@ -1,0 +1,539 @@
+"""Equivalence-preserving network reduction (the SPAP-R transform).
+
+``reduce_network`` fuses three rule families into one pass over a
+:class:`~repro.nfa.automaton.Network`, emitting a smaller network together
+with a per-merge :class:`MergeProof` artifact and a state-mapping table so
+every downstream consumer (witness masks, Table I truth comparisons,
+report streams) can be lifted back to original global state ids:
+
+* **dead-strip** — drop states semant's forward abstract interpretation
+  proves unenableable (``SemanticFacts.statically_dead``).  Exact for
+  reports and witnesses: a state that is never enabled contributes no
+  report and its witness bit is identically zero.
+* **never-reporting-strip** (``aggressive`` mode only) — drop live states
+  whose activity provably never reaches a reporter
+  (``SemanticFacts.never_reporting``).  Report-exact but witness-lossy
+  (stripped states may genuinely be enabled), hence gated behind the
+  lossy mode.
+* **backward-bisim merge** — quotient each automaton by
+  :func:`~repro.reduce.partition.refine_backward`.  Exact for both
+  reports and witnesses: all members of a class are enabled at identical
+  positions, so the expansion lift reconstructs the parent run bit for
+  bit.
+* **forward-bisim merge** (``aggressive`` mode only) — quotient by
+  :func:`~repro.reduce.partition.refine_forward` with every reporting
+  state pinned, merging only non-reporting states with identical
+  observable futures.  Report-exact; the lifted witness over-approximates
+  (a merged bit ORs its members).
+
+Strip soundness depends on a closure property of semant's backward pass:
+``can_report`` propagates only through states whose own symbol-set is
+non-empty, so every in-edge into the kept set from a stripped state
+originates at a state that can never *activate* — dropping the edge (via
+``Automaton.induced``) changes nothing.
+
+Automata left empty by stripping are removed from the reduced network
+(``dropped_automata``); their states map to ``-1`` like any stripped
+state.  ``reduce_element_network`` extends the transform to
+:class:`~repro.nfa.elements.ElementNetwork`: STEs referenced by counter or
+gate signals, and STEs enabled by element outputs, are *pinned* — kept
+and never merged — because their individual activations cross the gate
+boundary (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import bitops
+from ..nfa.automaton import Automaton, Network, StartKind
+from ..nfa.elements import Counter, ElementNetwork, Gate, Signal
+from ..semant.absint import SemanticFacts, analyze_network_semantics
+from ..sim.result import SimResult, reports_to_array
+from .partition import Partition, refine_backward, refine_forward
+
+__all__ = [
+    "MODES",
+    "RULE_DEAD",
+    "RULE_NEVER",
+    "RULE_BACKWARD",
+    "RULE_FORWARD",
+    "MergeProof",
+    "ReductionResult",
+    "reduce_network",
+    "element_pinned_gids",
+    "reduce_element_network",
+]
+
+#: Reduction modes: ``exact`` preserves reports AND witness masks bit for
+#: bit; ``aggressive`` preserves reports only (never-reporting strips and
+#: forward merges lose per-state enabledness).
+MODES: Tuple[str, ...] = ("exact", "aggressive")
+
+RULE_DEAD = "dead-strip"
+RULE_NEVER = "never-reporting-strip"
+RULE_BACKWARD = "backward-bisim"
+RULE_FORWARD = "forward-bisim"
+
+
+@dataclass(frozen=True)
+class MergeProof:
+    """Why one group of parent states collapsed (or vanished).
+
+    ``survivor`` is the reduced global id the group maps to, or ``-1`` for
+    strip rules.  ``parent_states`` are parent global ids.
+    """
+
+    rule: str
+    automaton: int
+    parent_states: Tuple[int, ...]
+    survivor: int
+    reason: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "automaton": self.automaton,
+            "parent_states": list(self.parent_states),
+            "survivor": self.survivor,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ReductionResult:
+    """A reduced network plus everything needed to lift results back.
+
+    ``state_map`` maps parent global ids to reduced global ids (``-1`` for
+    stripped states); ``members`` is the inverse cover (reduced global id
+    -> parent global ids, ascending).
+    """
+
+    mode: str
+    parent: Network
+    network: Network
+    state_map: np.ndarray
+    members: Tuple[Tuple[int, ...], ...]
+    proofs: Tuple[MergeProof, ...]
+    n_dead_stripped: int
+    n_never_stripped: int
+    n_backward_merged: int
+    n_forward_merged: int
+    dropped_automata: Tuple[int, ...]
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def parent_n_states(self) -> int:
+        return int(self.state_map.size)
+
+    @property
+    def n_states(self) -> int:
+        return self.network.n_states
+
+    @property
+    def saved_states(self) -> int:
+        return self.parent_n_states - self.n_states
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.parent_n_states == 0:
+            return 0.0
+        return self.saved_states / float(self.parent_n_states)
+
+    @property
+    def witness_exact(self) -> bool:
+        """Whether lifted witness masks are bit-identical to the parent's."""
+        return self.mode == "exact"
+
+    def merges_by_rule(self) -> Dict[str, int]:
+        """States eliminated per rule (the schema-v5 ``merges`` section)."""
+        return {
+            RULE_DEAD: self.n_dead_stripped,
+            RULE_NEVER: self.n_never_stripped,
+            RULE_BACKWARD: self.n_backward_merged,
+            RULE_FORWARD: self.n_forward_merged,
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "states_before": self.parent_n_states,
+            "states_after": self.n_states,
+            "saved_states": self.saved_states,
+            "saving": self.saving_fraction,
+            "witness_exact": self.witness_exact,
+            "merges": self.merges_by_rule(),
+            "dropped_automata": list(self.dropped_automata),
+            "proofs": [proof.to_json() for proof in self.proofs],
+        }
+
+    # -- lifting -------------------------------------------------------------
+
+    def lift_reports(self, reports: np.ndarray) -> np.ndarray:
+        """Expand reduced-id reports to parent-id reports.
+
+        Exact in both modes: reporting states are only ever merged by the
+        backward rule, whose members fire at identical positions with
+        identical report attributes, so one reduced report expands to one
+        report per member.
+        """
+        arr = reports_to_array(reports)
+        if arr.size == 0:
+            return arr
+        lifted: List[Tuple[int, int]] = []
+        for position, reduced_gid in arr.tolist():
+            for parent_gid in self.members[reduced_gid]:
+                lifted.append((position, parent_gid))
+        return reports_to_array(lifted)
+
+    def lift_witness(self, ever_enabled: np.ndarray) -> np.ndarray:
+        """Lift a packed reduced witness bitset to parent global ids.
+
+        Bit-exact in ``exact`` mode (each member shares its class's
+        enabledness; stripped states were provably never enabled).  In
+        ``aggressive`` mode the result over-approximates forward-merged
+        members and zeroes never-reporting strips.
+        """
+        parent_n = self.parent_n_states
+        reduced_bits = bitops.to_bool(ever_enabled, self.n_states)
+        parent_bits = np.zeros(parent_n, dtype=bool)
+        kept = self.state_map >= 0
+        parent_bits[kept] = reduced_bits[self.state_map[kept]]
+        return bitops.from_bool(parent_bits)
+
+    def lift_result(self, result: SimResult) -> SimResult:
+        """Lift a reduced-network :class:`SimResult` into parent id space."""
+        return SimResult(
+            n_states=self.parent_n_states,
+            n_symbols=result.n_symbols,
+            cycles=result.cycles,
+            reports=self.lift_reports(result.reports),
+            ever_enabled=self.lift_witness(result.ever_enabled),
+        )
+
+
+def _observable_cone(automaton: Automaton, seeds: Iterable[int]) -> np.ndarray:
+    """Backward closure of ``seeds`` through activatable states.
+
+    Mirrors semant's ``_backward_can_report``: activity propagates to a
+    predecessor only if that predecessor's own symbol-set is non-empty
+    (otherwise it can never activate and so never hands activity on).
+    Seeds themselves are observable unconditionally.
+    """
+    observable = np.zeros(automaton.n_states, dtype=bool)
+    queue: List[int] = []
+    for sid in seeds:
+        if not observable[sid]:
+            observable[sid] = True
+            queue.append(sid)
+    preds = automaton.predecessors_map()
+    while queue:
+        v = queue.pop()
+        for u in preds[v]:
+            if not observable[u] and automaton.state(u).symbol_set:
+                observable[u] = True
+                queue.append(u)
+    return observable
+
+
+def _quotient(automaton: Automaton, partition: Partition) -> Automaton:
+    """Collapse each class to its minimum-id representative.
+
+    The representative donates every attribute; this is sound because a
+    class's members share the full attribute key by construction (see
+    ``partition._attribute_key``).  Class ids are canonical (numbered by
+    first member), so state ``c`` of the quotient IS class ``c``.
+    """
+    representatives = partition.representatives()
+    out = Automaton(automaton.name)
+    for rep in representatives:
+        s = automaton.state(rep)
+        out.add_state(
+            s.symbol_set,
+            start=s.start,
+            reporting=s.reporting,
+            report_code=s.report_code,
+            eod=s.eod,
+            label=s.label,
+        )
+    for src, dst in automaton.edges():
+        out.add_edge(partition.class_of[src], partition.class_of[dst])
+    return out
+
+
+def reduce_network(
+    network: Network,
+    facts: Optional[SemanticFacts] = None,
+    *,
+    mode: str = "exact",
+    pinned: Optional[Iterable[int]] = None,
+) -> ReductionResult:
+    """Reduce a network; see the module docstring for the rule families.
+
+    ``facts`` defaults to a fresh :func:`analyze_network_semantics` pass.
+    ``pinned`` global ids are kept verbatim and never merged (used for
+    gate-boundary STEs; empty on the plain pipeline path).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown reduction mode {mode!r} (choose from {MODES})")
+    if facts is None:
+        facts = analyze_network_semantics(network)
+    offsets = network.offsets()
+    pinned_gids: Set[int] = set(pinned or ())
+    for gid in pinned_gids:
+        if not 0 <= gid < network.n_states:
+            raise IndexError(f"pinned global id {gid} outside network")
+
+    state_map = np.full(network.n_states, -1, dtype=np.int64)
+    reduced_automata: List[Automaton] = []
+    members: List[Tuple[int, ...]] = []
+    proofs: List[MergeProof] = []
+    dropped: List[int] = []
+    n_dead = n_never = n_backward = n_forward = 0
+    reduced_base = 0
+
+    for a_idx, automaton in enumerate(network.automata):
+        n = automaton.n_states
+        base = offsets[a_idx]
+        auto_facts = facts.per_automaton[a_idx]
+        pinned_local = sorted(
+            gid - base for gid in pinned_gids if base <= gid < base + n
+        )
+
+        # -- strip passes ---------------------------------------------------
+        keep = auto_facts.enableable.copy()
+        for sid in pinned_local:
+            keep[sid] = True
+        dead = [sid for sid in range(n) if not keep[sid]]
+        never: List[int] = []
+        if mode == "aggressive":
+            observable = auto_facts.can_report.copy()
+            if pinned_local:
+                observable |= _observable_cone(automaton, pinned_local)
+            never = [sid for sid in range(n) if keep[sid] and not observable[sid]]
+            for sid in never:
+                keep[sid] = False
+        keep_ids = [sid for sid in range(n) if keep[sid]]
+        # Corner: a pinned-but-dead STE can survive alone; re-add the start
+        # states so the reduced automaton stays structurally valid (starts
+        # are always enableable, so this only fires in that pinned corner).
+        if keep_ids and not any(automaton.state(sid).is_start for sid in keep_ids):
+            for sid in automaton.start_states():
+                keep[sid] = True
+                if sid in dead:
+                    dead.remove(sid)
+                if sid in never:
+                    never.remove(sid)
+            keep_ids = [sid for sid in range(n) if keep[sid]]
+        n_dead += len(dead)
+        n_never += len(never)
+        if dead:
+            proofs.append(
+                MergeProof(
+                    rule=RULE_DEAD,
+                    automaton=a_idx,
+                    parent_states=tuple(base + sid for sid in dead),
+                    survivor=-1,
+                    reason="inflow = ∅: no input string ever enables these states",
+                )
+            )
+        if never:
+            proofs.append(
+                MergeProof(
+                    rule=RULE_NEVER,
+                    automaton=a_idx,
+                    parent_states=tuple(base + sid for sid in never),
+                    survivor=-1,
+                    reason="no activation path reaches a reporter or pinned STE",
+                )
+            )
+        if not keep_ids:
+            dropped.append(a_idx)
+            continue
+
+        induced, old_to_new = automaton.induced(keep_ids)
+
+        # -- backward-bisimulation quotient (both modes) --------------------
+        pinned_induced = {old_to_new[sid] for sid in pinned_local if keep[sid]}
+        bpart = refine_backward(induced, pinned_induced)
+        n_backward += bpart.n_merged
+        merged = _quotient(induced, bpart)
+
+        # -- forward-bisimulation quotient (aggressive only) ----------------
+        if mode == "aggressive":
+            forced = {
+                cid
+                for cid in range(merged.n_states)
+                if merged.state(cid).reporting
+            }
+            forced |= {bpart.class_of[sid] for sid in pinned_induced}
+            fpart = refine_forward(merged, forced)
+            n_forward += fpart.n_merged
+            final_automaton = _quotient(merged, fpart)
+            f_class_of: Sequence[int] = fpart.class_of
+        else:
+            final_automaton = merged
+            f_class_of = range(merged.n_states)
+
+        final_automaton.validate()
+
+        # -- mapping + merge proofs -----------------------------------------
+        local_members: List[List[int]] = [[] for _ in range(final_automaton.n_states)]
+        for sid in keep_ids:
+            final_local = f_class_of[bpart.class_of[old_to_new[sid]]]
+            state_map[base + sid] = reduced_base + final_local
+            local_members[final_local].append(base + sid)
+        for group in bpart.members():
+            if len(group) > 1:
+                parent_ids = tuple(base + keep_ids[new_sid] for new_sid in group)
+                proofs.append(
+                    MergeProof(
+                        rule=RULE_BACKWARD,
+                        automaton=a_idx,
+                        parent_states=parent_ids,
+                        survivor=int(state_map[parent_ids[0]]),
+                        reason="enabled at identical positions on every input "
+                        "(backward bisimulation fixpoint)",
+                    )
+                )
+        if mode == "aggressive":
+            for fgroup in fpart.members():
+                if len(fgroup) > 1:
+                    survivor = reduced_base + f_class_of[fgroup[0]]
+                    parent_ids = tuple(
+                        gid
+                        for cid in fgroup
+                        for gid in local_members[f_class_of[cid]]
+                    )
+                    proofs.append(
+                        MergeProof(
+                            rule=RULE_FORWARD,
+                            automaton=a_idx,
+                            parent_states=tuple(sorted(set(parent_ids))),
+                            survivor=survivor,
+                            reason="identical observable futures, none reporting "
+                            "(forward bisimulation fixpoint)",
+                        )
+                    )
+        members.extend(tuple(group) for group in local_members)
+        reduced_automata.append(final_automaton)
+        reduced_base += final_automaton.n_states
+
+    reduced = Network(
+        name=f"{network.name}:reduced[{mode}]" if network.name else f"reduced[{mode}]",
+        automata=reduced_automata,
+    )
+    return ReductionResult(
+        mode=mode,
+        parent=network,
+        network=reduced,
+        state_map=state_map,
+        members=tuple(members),
+        proofs=tuple(proofs),
+        n_dead_stripped=n_dead,
+        n_never_stripped=n_never,
+        n_backward_merged=n_backward,
+        n_forward_merged=n_forward,
+        dropped_automata=tuple(dropped),
+    )
+
+
+def element_pinned_gids(element_network: ElementNetwork) -> FrozenSet[int]:
+    """STE global ids that cross a counter/gate boundary.
+
+    Covers both directions: STEs whose *activation* feeds an element input
+    signal, and STEs an element output *enables* for the next cycle.  Both
+    kinds have externally-visible or externally-driven behavior the pure
+    NFA analysis cannot see, so the reducer must keep them verbatim.
+    """
+    pins: Set[int] = set()
+    for element in element_network.elements:
+        signals: List[Signal]
+        if isinstance(element, Gate):
+            signals = list(element.inputs)
+        elif isinstance(element, Counter):
+            signals = list(element.count_inputs) + list(element.reset_inputs)
+        else:  # pragma: no cover - ElementNetwork validates construction
+            raise TypeError(f"unknown element type {type(element).__name__}")
+        for kind, index in signals:
+            if kind == "ste":
+                pins.add(index)
+    for targets in element_network.enables.values():
+        pins.update(targets)
+    return frozenset(pins)
+
+
+def reduce_element_network(
+    element_network: ElementNetwork, *, mode: str = "exact"
+) -> Tuple[ElementNetwork, ReductionResult]:
+    """Reduce the STE substrate of an :class:`ElementNetwork`.
+
+    Gate-boundary STEs (see :func:`element_pinned_gids`) are pinned.
+    Element-*enabled* STEs additionally gain an enable source the NFA-only
+    abstract interpretation cannot model, so the semantic facts are
+    computed on a shadow network where those targets are promoted to
+    ``ALL_INPUT`` starts — a sound over-approximation of "may be enabled
+    at any position by an element".  Elements and enable lists are
+    rewritten through the state map (pinned STEs are always kept, so every
+    referenced id survives).
+    """
+    network = element_network.network
+    pins = element_pinned_gids(element_network)
+
+    enable_targets: Set[int] = set()
+    for targets in element_network.enables.values():
+        enable_targets.update(targets)
+    shadow = Network(name=network.name, automata=[a.copy() for a in network.automata])
+    for gid in enable_targets:
+        a_idx, sid = shadow.locate(gid)
+        state = shadow.automata[a_idx].state(sid)
+        if state.start is StartKind.NONE:
+            state.start = StartKind.ALL_INPUT
+    facts = analyze_network_semantics(shadow)
+
+    reduction = reduce_network(network, facts, mode=mode, pinned=pins)
+    mapping = reduction.state_map
+
+    def _remap_signal(signal: Signal) -> Signal:
+        kind, index = signal
+        if kind != "ste":
+            return signal
+        new_index = int(mapping[index])
+        assert new_index >= 0, f"pinned STE {index} was stripped"
+        return (kind, new_index)
+
+    elements: List[object] = []
+    for element in element_network.elements:
+        if isinstance(element, Gate):
+            elements.append(
+                Gate(
+                    kind=element.kind,
+                    inputs=[_remap_signal(s) for s in element.inputs],
+                    reporting=element.reporting,
+                    report_code=element.report_code,
+                )
+            )
+        else:
+            assert isinstance(element, Counter)
+            elements.append(
+                Counter(
+                    target=element.target,
+                    mode=element.mode,
+                    count_inputs=[_remap_signal(s) for s in element.count_inputs],
+                    reset_inputs=[_remap_signal(s) for s in element.reset_inputs],
+                    reporting=element.reporting,
+                    report_code=element.report_code,
+                )
+            )
+    enables = {
+        element_id: [int(mapping[gid]) for gid in targets]
+        for element_id, targets in element_network.enables.items()
+    }
+    reduced = ElementNetwork(
+        network=reduction.network, elements=elements, enables=enables
+    )
+    return reduced, reduction

@@ -61,6 +61,9 @@ class ServerOptions:
     #: Batch engine: "multistream" (default), "dfa" (forced where feasible),
     #: or "auto" (per-app cost advisory) — DESIGN.md §13.
     backend: str = "multistream"
+    #: Serve SPAP-R-reduced networks (DESIGN.md §15); replies carry
+    #: original state ids via the reduction's lifting table.
+    reduce: bool = False
 
     def policy(self) -> BatchPolicy:
         return BatchPolicy(window_s=self.window_ms / 1e3,
@@ -79,6 +82,7 @@ class MatchServer:
         self.state = ServeState(config, apps=apps,
                                 max_apps=self.options.max_apps,
                                 backend=self.options.backend,
+                                reduce=self.options.reduce,
                                 timer=self.timer)
         self.batcher = MicroBatcher(self.options.policy(), timer=self.timer)
         self._executor = concurrent.futures.ThreadPoolExecutor(

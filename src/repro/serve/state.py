@@ -61,6 +61,12 @@ class AppEntry:
     backend: str = "multistream"
     dfa: Optional[CompiledDFA] = None
     lazydfa: Optional[CompiledLazyDfa] = None
+    #: SPAP-R reduction artifact when the server runs reduced networks
+    #: (``ServeState(reduce=True)``): every result is lifted through its
+    #: state-mapping table so replies carry *original* state ids — clients
+    #: never observe whether the server reduced.  (Typed loosely to keep
+    #: this module import-light; it is a ``repro.reduce.ReductionResult``.)
+    reduction: Optional[object] = None
 
     def execute_batch(self, streams: List[bytes]) -> List[SimResult]:
         """Run one coalesced batch on this entry's backend (executor-side).
@@ -72,10 +78,15 @@ class AppEntry:
         workers are safe.
         """
         if self.backend == "dfa" and self.dfa is not None:
-            return [dfa_run(self.dfa, stream) for stream in streams]
-        if self.backend == "lazydfa" and self.lazydfa is not None:
-            return [lazydfa_run(self.lazydfa, stream) for stream in streams]
-        return run_multi(self.compiled, streams)
+            results = [dfa_run(self.dfa, stream) for stream in streams]
+        elif self.backend == "lazydfa" and self.lazydfa is not None:
+            results = [lazydfa_run(self.lazydfa, stream) for stream in streams]
+        else:
+            results = run_multi(self.compiled, streams)
+        if self.reduction is not None:
+            lift = self.reduction.lift_result  # type: ignore[attr-defined]
+            results = [lift(result) for result in results]
+        return results
 
 
 class ServeState:
@@ -83,7 +94,7 @@ class ServeState:
 
     def __init__(self, config: Optional[ExperimentConfig] = None, *,
                  apps: Optional[List[str]] = None, max_apps: int = 8,
-                 backend: str = "multistream",
+                 backend: str = "multistream", reduce: bool = False,
                  timer: Optional[StageTimer] = None) -> None:
         if backend not in ("multistream", "dfa", "lazydfa", "auto"):
             # Serving batches streams, so only streaming engines apply:
@@ -94,6 +105,9 @@ class ServeState:
             )
         self.config = config or default_config()
         self.backend = backend
+        #: Serve the SPAP-R-reduced (exact-mode, report-equivalent) form of
+        #: every network; replies are lifted back to original state ids.
+        self.reduce = reduce
         self.timer = timer if timer is not None else StageTimer()
         self.max_apps = max(1, max_apps)
         #: Canonical abbreviations this server agrees to serve (None = any
@@ -137,10 +151,19 @@ class ServeState:
         advisory), so a non-multistream server backend selects on
         feasibility alone: ``dfa``/``auto`` take the table engine when the
         network is proven safe, ``lazydfa`` (or ``auto`` on an unsafe
-        network) takes the hybrid.
+        network) takes the hybrid.  Under ``reduce=True`` the injected
+        network is reduced exactly like a registry one.
         """
+        reduction = None
+        if self.reduce:
+            from ..reduce.transform import reduce_network
+
+            with self.timer.stage("reduce"):
+                reduction = reduce_network(network)
+            network = reduction.network
         with self.timer.stage("compile_app"):
-            entry = AppEntry(name=name, compiled=compile_network(network))
+            entry = AppEntry(name=name, compiled=compile_network(network),
+                             reduction=reduction)
         if self.backend in ("dfa", "auto") and dfa_feasible(network):
             with self.timer.stage("compile_dfa"):
                 entry.dfa = compile_dfa(network)
@@ -176,20 +199,26 @@ class ServeState:
         from ..experiments.sweep import DEFAULT_PROFILE_FRACTION
 
         run = get_run(canonical, self.config)
+        reduction = run.reduced if self.reduce else None
         with self.timer.stage("compile_app"):
-            compiled = run.compiled
-        entry = AppEntry(name=canonical, compiled=compiled)
+            compiled = (run.reduced_prepared_for("multistream") if self.reduce
+                        else run.compiled)
+        entry = AppEntry(name=canonical, compiled=compiled,
+                         reduction=reduction)
         if self.backend != "multistream":
             name, _engine = run.select_backend(
-                self.backend, DEFAULT_PROFILE_FRACTION, allow_fallback=True
+                self.backend, DEFAULT_PROFILE_FRACTION, allow_fallback=True,
+                reduce=self.reduce,
             )
             if name == "dfa":
                 with self.timer.stage("compile_dfa"):
-                    entry.dfa = run.compiled_dfa
+                    entry.dfa = (run.reduced_prepared_for("dfa")
+                                 if self.reduce else run.compiled_dfa)
                 entry.backend = "dfa"
             elif name == "lazydfa":
                 with self.timer.stage("compile_lazydfa"):
-                    entry.lazydfa = run.compiled_lazydfa
+                    entry.lazydfa = (run.reduced_prepared_for("lazydfa")
+                                     if self.reduce else run.compiled_lazydfa)
                 entry.backend = "lazydfa"
         return entry
 

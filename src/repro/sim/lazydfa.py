@@ -120,7 +120,8 @@ class CompiledLazyDfa:
     determinization view of :func:`repro.nfa.determinize.flatten_network`)
     and the LRU subset cache that persists across runs, so repeated inputs
     over the same artifact execute mostly at table speed.  Lifetime cache
-    counters are exposed via :meth:`cache_stats`.
+    counters are exposed via :meth:`cache_stats`; :meth:`clear_cache`
+    resets both the cache and those counters.
     """
 
     def __init__(
@@ -182,12 +183,20 @@ class CompiledLazyDfa:
             }
 
     def clear_cache(self) -> None:
-        """Drop every cached row (tombstoning them for link repair)."""
+        """Drop every cached row (tombstoning them for link repair) and
+        zero the lifetime counters — a full reset to the post-compile
+        state, so :meth:`cache_stats` after a clear describes only work
+        done since the clear."""
         with self._lock:
             for row in self._cache.values():
                 row.live = False
                 row.cells = None
             self._cache.clear()
+            self.hits = 0
+            self.cell_builds = 0
+            self.inserts = 0
+            self.evictions = 0
+            self.fallback_steps = 0
 
     def _step(self, mask: int, cls: int) -> Tuple[int, Tuple[int, ...], Tuple[int, ...]]:
         """One subset-construction transition from ``mask`` on class ``cls``.

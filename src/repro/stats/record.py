@@ -125,6 +125,17 @@ class RunStats:
     cost_class_compression_ratio: float = 1.0
     cost_dfa_safe_fraction: float = 0.0
     cost_partitions: List[PartitionCostStats] = field(default_factory=list)
+    # equivalence-preserving reduction (repro.reduce, schema v5)
+    reduce_mode: str = "exact"
+    reduce_states_before: int = 0
+    reduce_states_after: int = 0
+    reduce_saving: float = 0.0
+    reduce_dead_stripped: int = 0
+    reduce_never_stripped: int = 0
+    reduce_backward_merged: int = 0
+    reduce_forward_merged: int = 0
+    reduce_batches_before: int = 0
+    reduce_batches_after: int = 0
     # pipeline stage timings
     stages: List[Span] = field(default_factory=list)
 
@@ -197,6 +208,20 @@ class RunStats:
                 "dfa_safe_fraction": self.cost_dfa_safe_fraction,
                 "partitions": [p.to_json() for p in self.cost_partitions],
             },
+            "reduce": {
+                "mode": self.reduce_mode,
+                "states_before": self.reduce_states_before,
+                "states_after": self.reduce_states_after,
+                "saving": self.reduce_saving,
+                "merges": {
+                    "dead_stripped": self.reduce_dead_stripped,
+                    "never_reporting_stripped": self.reduce_never_stripped,
+                    "backward_merged": self.reduce_backward_merged,
+                    "forward_merged": self.reduce_forward_merged,
+                },
+                "baseline_batches_before": self.reduce_batches_before,
+                "baseline_batches_after": self.reduce_batches_after,
+            },
             "stages": [span.to_json() for span in self.stages],
         }
 
@@ -252,6 +277,17 @@ def render_stats(stats: RunStats) -> str:
             f"  cost        : {stats.cost_n_classes} classes "
             f"({stats.cost_class_compression_ratio:.1f}x table compression), "
             f"budget {stats.cost_budget}; {verdicts}{backend_note}"
+        )
+    if stats.reduce_states_before:
+        lines.append(
+            f"  reduce      : {stats.reduce_states_before} -> "
+            f"{stats.reduce_states_after} states "
+            f"({100 * stats.reduce_saving:.1f}% saved, {stats.reduce_mode}); "
+            f"{stats.reduce_dead_stripped} dead, "
+            f"{stats.reduce_never_stripped} never-reporting, "
+            f"{stats.reduce_backward_merged} backward, "
+            f"{stats.reduce_forward_merged} forward; "
+            f"batches {stats.reduce_batches_before} -> {stats.reduce_batches_after}"
         )
     if stats.stages:
         spans = "  ".join(

@@ -19,6 +19,7 @@ __all__ = [
     "STATS_SCHEMA",
     "STATS_SCHEMA_V2",
     "STATS_SCHEMA_V3",
+    "STATS_SCHEMA_V4",
     "SUPPORTED_STATS_VERSIONS",
     "SchemaError",
     "validate_serve_stats",
@@ -35,7 +36,10 @@ __all__ = [
 #: ``selected_backend`` — the engine actually chosen for execution (null
 #: when the collection did not execute a backend), so a stats export can
 #: no longer hide a feasibility substitution.
-SCHEMA_VERSION = 4
+#: v5: added the ``reduce`` section (states before/after the SPAP-R
+#: equivalence-preserving reduction, merges by rule, STE saving, and the
+#: downstream effect on baseline batches — ``repro.reduce``).
+SCHEMA_VERSION = 5
 
 #: Bump on any backwards-incompatible change to the match server's exported
 #: statistics document (``repro.serve``).
@@ -125,13 +129,32 @@ STATS_SCHEMA = {
             },
         ),
     },
+    "reduce": {
+        "mode": "str",
+        "states_before": "int",
+        "states_after": "int",
+        "saving": "number",
+        "merges": {
+            "dead_stripped": "int",
+            "never_reporting_stripped": "int",
+            "backward_merged": "int",
+            "forward_merged": "int",
+        },
+        "baseline_batches_before": "int",
+        "baseline_batches_after": "int",
+    },
     "stages": ("array", SPAN_SCHEMA),
 }
+
+#: The v4 document shape (everything above minus the v5 ``reduce``
+#: section); archived v4 exports still validate strictly under their own
+#: version instead of failing with a missing-section error.
+STATS_SCHEMA_V4 = {key: spec for key, spec in STATS_SCHEMA.items() if key != "reduce"}
 
 #: The v3 document shape (the ``cost`` section without the v4 backend
 #: fields); archived v3 exports still validate strictly under their own
 #: version instead of failing with missing-field errors.
-STATS_SCHEMA_V3 = dict(STATS_SCHEMA)
+STATS_SCHEMA_V3 = dict(STATS_SCHEMA_V4)
 STATS_SCHEMA_V3["cost"] = {
     key: spec
     for key, spec in STATS_SCHEMA["cost"].items()
@@ -144,9 +167,14 @@ STATS_SCHEMA_V3["cost"] = {
 STATS_SCHEMA_V2 = {key: spec for key, spec in STATS_SCHEMA_V3.items() if key != "cost"}
 
 #: Versions :func:`validate_stats` accepts, newest first.
-SUPPORTED_STATS_VERSIONS = (4, 3, 2)
+SUPPORTED_STATS_VERSIONS = (5, 4, 3, 2)
 
-_SCHEMA_BY_VERSION = {4: STATS_SCHEMA, 3: STATS_SCHEMA_V3, 2: STATS_SCHEMA_V2}
+_SCHEMA_BY_VERSION = {
+    5: STATS_SCHEMA,
+    4: STATS_SCHEMA_V4,
+    3: STATS_SCHEMA_V3,
+    2: STATS_SCHEMA_V2,
+}
 
 #: The match server's statistics document (``repro.serve``): configuration
 #: echo, request/reply/error counters, micro-batch shape, and the server's
@@ -238,7 +266,11 @@ def validate_stats(document: dict) -> None:
     if not isinstance(document, dict):
         raise SchemaError(f"stats document must be an object, got {type(document).__name__}")
     version = document.get("schema_version")
-    schema = _SCHEMA_BY_VERSION.get(version) if isinstance(version, int) else None
+    # bool is an int subclass: `True` must not dispatch through the integer
+    # version keys (it hashes equal to 1) — reject it like any unknown
+    # version, with the error naming the supported set.
+    valid_key = isinstance(version, int) and not isinstance(version, bool)
+    schema = _SCHEMA_BY_VERSION.get(version) if valid_key else None
     if schema is None:
         raise SchemaError(
             f"unsupported stats schema_version {version!r} "

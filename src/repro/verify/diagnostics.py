@@ -373,6 +373,55 @@ RULES: Dict[str, Rule] = _rules(
         "cost; a NaN/inf/negative value means the features or the "
         "calibration are corrupt — file a bug against repro.cost.model",
     ),
+    # -- equivalence-preserving reduction (repro.reduce) -----------------------
+    Rule(
+        "SPAP-R001",
+        "reduction changed reports or lifted witness masks vs reference replay",
+        Severity.ERROR,
+        "§III-A",
+        "reduce_network claims report equivalence (and, in exact mode, "
+        "witness equivalence); a divergence against sim/reference.py on the "
+        "reduced network means a merge or strip rule is unsound — file a "
+        "bug against repro.reduce.transform",
+    ),
+    Rule(
+        "SPAP-R002",
+        "state mapping is not a sound cover of the parent network",
+        Severity.ERROR,
+        "§V-A",
+        "state_map and members must be mutually inverse, every kept parent "
+        "state must map to a valid reduced state, and stripped counts must "
+        "reconcile with the proof artifacts; check mapping composition in "
+        "reduce_network",
+    ),
+    Rule(
+        "SPAP-R003",
+        "merge class mixes behaviorally incompatible states",
+        Severity.ERROR,
+        "§II-A",
+        "every member of a reduced state's class must share symbol mask, "
+        "start kind, reporting flag, report code, and eod; an attribute "
+        "mismatch means the partition's initial key was violated",
+    ),
+    Rule(
+        "SPAP-R004",
+        "no reduction opportunities found",
+        Severity.INFO,
+        "§III-A",
+        "informational: the network is already minimal under the enabled "
+        "rule families — every state is live and no two states are "
+        "bisimilar at this mode",
+    ),
+    Rule(
+        "SPAP-R005",
+        "reports-only reductions withheld in exact mode",
+        Severity.INFO,
+        "§III-A",
+        "informational: aggressive mode (never-reporting strips + forward "
+        "merges) would shrink the network further at the price of lossy "
+        "witness masks; rerun with --aggressive if only the report stream "
+        "matters",
+    ),
 )
 
 

@@ -16,9 +16,12 @@ parity arms across every registered engine (reports *and* witness masks).
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 
+from repro import bitops
+from repro.reduce import reduce_network
 from repro.sim import (
     ENGINES,
     compile_dfa,
@@ -133,6 +136,50 @@ class TestFourEngineEquivalence:
                 assert reports_equal(got.reports, want.reports), path
                 assert (got.ever_enabled == want.ever_enabled).all(), path
                 assert got.cycles == want.cycles
+
+
+class TestReducedNetworkEquivalence:
+    """The ``--reduce`` execution path: every engine run on the
+    SPAP-R-reduced network, lifted through the state-mapping table, must
+    match the reference run on the *parent* network — reports in both
+    modes, witness masks additionally in exact mode.  This closes the
+    loop the per-engine arms above leave open: reduction composes with
+    every datapath, not just the reference simulator.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, input_lengths)
+    def test_exact_reduction_lifts_bit_identically(self, seed, length):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, length)
+        truth = reference_run(network, data)
+        reduction = reduce_network(network, mode="exact")
+        n = network.n_states
+        truth_mask = bitops.to_bool(truth.ever_enabled, n)
+        for name, engine in ENGINES.items():
+            if not engine.feasible(reduction.network):
+                continue
+            got = engine.run_network(reduction.network, data, track_enabled=True)
+            lifted = reduction.lift_result(got)
+            assert reports_equal(lifted.reports, truth.reports), name
+            assert np.array_equal(
+                bitops.to_bool(lifted.ever_enabled, n), truth_mask
+            ), name
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, input_lengths)
+    def test_aggressive_reduction_preserves_reports(self, seed, length):
+        rng = random.Random(seed)
+        network = random_network(rng)
+        data = random_input(rng, length)
+        expected = reference_run(network, data).reports
+        reduction = reduce_network(network, mode="aggressive")
+        for name, engine in ENGINES.items():
+            if not engine.feasible(reduction.network):
+                continue
+            got = engine.run_network(reduction.network, data)
+            assert reports_equal(reduction.lift_reports(got.reports), expected), name
 
 
 class TestDegenerateInputs:

@@ -159,6 +159,27 @@ class TestCacheDiscipline:
         assert reports_equal(again.reports, expected.reports)
         assert (again.ever_enabled == expected.ever_enabled).all()
 
+    def test_clear_cache_resets_lifetime_counters(self):
+        # clear_cache is a full reset to the post-compile state: the
+        # lifetime counters go back to zero along with the rows, so
+        # cache_stats() after a clear describes only post-clear work.
+        rng = random.Random(37)
+        network = _network(37)
+        data = random_input(rng, 150)
+        compiled = compile_lazydfa(network)
+        lazydfa_run(compiled, data)
+        assert compiled.cache_stats()["inserts"] > 0
+        compiled.clear_cache()
+        stats = compiled.cache_stats()
+        assert stats["size"] == 0
+        for counter in ("hits", "cell_builds", "inserts", "evictions",
+                        "fallback_steps"):
+            assert stats[counter] == 0, counter
+        # ... and the counters resume counting from zero afterwards.
+        lazydfa_run(compiled, data)
+        after = compiled.cache_stats()
+        assert after["inserts"] > 0 and after["hits"] >= 0
+
 
 class TestEngineMetadata:
     def test_registered_without_feasibility_gate(self):

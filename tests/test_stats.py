@@ -121,13 +121,13 @@ class TestSchema:
         with pytest.raises(SchemaError, match="refills"):
             validate_stats(document)
 
-    def test_v4_document_carries_cost_section(self, bro_stats):
+    def test_v5_document_carries_cost_section(self, bro_stats):
         document = bro_stats.to_json()
-        assert document["schema_version"] == 4
+        assert document["schema_version"] == 5
         cost = document["cost"]
         assert cost["budget"] > 0 and cost["n_classes"] >= 1
         assert cost["table_bytes_dense"] >= cost["table_bytes_classed"] > 0
-        # v4: the backend-execution record is present (and nullable — this
+        # v4+: the backend-execution record is present (and nullable — this
         # collection ran no backend, so the document does not guess).
         assert cost["requested_backend"] is None
         assert cost["selected_backend"] is None
@@ -137,10 +137,35 @@ class TestSchema:
             assert partition["recommended"]
             assert (partition["dfa_states"] is None) == (not partition["dfa_safe"])
 
-    def test_v4_document_missing_cost_rejected(self, bro_stats):
+    def test_v5_document_carries_reduce_section(self, bro_stats):
+        document = bro_stats.to_json()
+        reduce = document["reduce"]
+        assert reduce["mode"] == "exact"
+        assert reduce["states_before"] == document["workload"]["n_states"]
+        assert 0 <= reduce["states_after"] <= reduce["states_before"]
+        assert 0.0 <= reduce["saving"] <= 1.0
+        merged = sum(reduce["merges"].values())
+        assert merged == reduce["states_before"] - reduce["states_after"]
+        assert reduce["baseline_batches_before"] >= reduce["baseline_batches_after"]
+
+    def test_v5_document_missing_cost_rejected(self, bro_stats):
         document = bro_stats.to_json()
         del document["cost"]
         with pytest.raises(SchemaError, match="cost"):
+            validate_stats(document)
+
+    def test_v4_document_validates_under_v4(self, bro_stats):
+        """Archived pre-reduce exports keep validating under their own
+        version."""
+        document = bro_stats.to_json()
+        del document["reduce"]
+        document["schema_version"] = 4
+        validate_stats(document)
+
+    def test_v4_document_with_reduce_rejected(self, bro_stats):
+        document = bro_stats.to_json()
+        document["schema_version"] = 4
+        with pytest.raises(SchemaError, match="reduce"):
             validate_stats(document)
 
     def test_v3_document_validates_under_v3(self, bro_stats):
@@ -149,6 +174,7 @@ class TestSchema:
         document = bro_stats.to_json()
         del document["cost"]["requested_backend"]
         del document["cost"]["selected_backend"]
+        del document["reduce"]
         document["schema_version"] = 3
         validate_stats(document)
 
@@ -163,6 +189,7 @@ class TestSchema:
         version — the schema dispatch, not a compatibility shim."""
         document = bro_stats.to_json()
         del document["cost"]
+        del document["reduce"]
         document["schema_version"] = 2
         validate_stats(document)
 
@@ -176,6 +203,28 @@ class TestSchema:
         document = bro_stats.to_json()
         assert validate_stats_json([document, document]) == 2
         assert validate_stats_json(document) == 1
+
+    @pytest.mark.parametrize("version", [99, 0, -3, "4", 4.0, None, True, False])
+    def test_unknown_version_is_a_typed_error_naming_the_supported_set(
+        self, bro_stats, version
+    ):
+        """Any unsupported or non-integer version — including ``True``,
+        which is an ``int`` subclass hashing equal to 1 — must raise
+        :class:`SchemaError` naming the supported set, never ``KeyError``
+        and never a wall of field errors."""
+        document = bro_stats.to_json()
+        document["schema_version"] = version
+        with pytest.raises(SchemaError) as excinfo:
+            validate_stats(document)
+        message = str(excinfo.value)
+        assert "unsupported stats schema_version" in message
+        assert "5, 4, 3, 2" in message
+
+    def test_missing_version_is_a_typed_error(self, bro_stats):
+        document = bro_stats.to_json()
+        del document["schema_version"]
+        with pytest.raises(SchemaError, match="5, 4, 3, 2"):
+            validate_stats(document)
 
 
 class TestCollect:
@@ -262,6 +311,34 @@ class TestSweepStats:
         )
         with pytest.raises(ValueError):
             sweep_summary([])
+
+    def test_rows_carry_reduce_columns(self, small_config):
+        rows = run_sweep(["Bro217", "LV"], small_config, jobs=1)
+        for row in rows:
+            assert 0 <= row.n_states_reduced <= row.n_states
+            assert 0.0 <= row.reduce_saving <= 1.0
+            assert row.reduced is False  # no backend executed
+        table = render_sweep(rows)
+        assert "Reduce" in table
+
+    def test_summary_reduce_aggregates(self, small_config):
+        rows = run_sweep(["Bro217", "LV"], small_config, jobs=1)
+        summary = sweep_summary(rows)
+        assert summary["mean_reduce_saving"] == pytest.approx(
+            (rows[0].reduce_saving + rows[1].reduce_saving) / 2
+        )
+        assert 0.0 < summary["geomean_reduce_state_ratio"] <= 1.0
+
+    def test_reduced_backend_execution_matches_unreduced(self, small_config):
+        plain = run_sweep(["LV"], small_config, jobs=1,
+                          backend="multistream")[0]
+        reduced = run_sweep(["LV"], small_config, jobs=1,
+                            backend="multistream", reduce=True)[0]
+        assert reduced.reduced is True and plain.reduced is False
+        assert reduced.backend == plain.backend == "multistream"
+        assert reduced.backend_mb_s > 0
+        table = render_sweep([reduced])
+        assert "%+" in table  # the '+' marker for reduced execution
 
 
 class TestStatsCli:

@@ -60,9 +60,9 @@ class TestRuleRegistry:
             assert rule.code == code
             assert rule.title and rule.hint and rule.paper.startswith("§")
 
-    def test_passes_cover_five_prefixes(self):
+    def test_passes_cover_six_prefixes(self):
         prefixes = {code.split("-")[1][0] for code in RULES}
-        assert prefixes == {"N", "P", "B", "S", "C"}
+        assert prefixes == {"N", "P", "B", "S", "C", "R"}
 
 
 class TestNetworkLint:
