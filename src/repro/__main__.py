@@ -35,7 +35,14 @@ Commands:
   multi-stream dispatches out.
 * ``loadgen --apps A,B [--port N|--unix PATH]`` — drive a running server
   in open or closed loop, optionally sweeping concurrency, and report
-  throughput plus p50/p95/p99 latency.
+  throughput plus p50/p95/p99 latency; ``--duration`` with ``--rate``
+  runs a fixed-arrival-rate overload round, and ``--classes`` splits
+  traffic into weighted deadline classes with per-class percentiles.
+* ``grid --apps A,B --workers N [--port P|--unix PATH]`` — the sharded
+  multi-process serving grid (``repro.grid``): compiles the apps into a
+  network store, spawns N worker processes each serving its shard, and
+  routes the framed protocol by app with replication, load-spill, and
+  write-behind stats merging (DESIGN.md §16).
 
 Application names accept the registry abbreviations plus paper-table
 aliases (``SNT`` for ``Snort``), case-insensitively.  Unknown application
@@ -475,6 +482,26 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_classes(spec: str):
+    """Parse ``name[:weight[:deadline_ms]]`` comma specs into
+    :class:`repro.serve.loadgen.RequestClass` tuples, e.g.
+    ``interactive:8:50,batch:2``.  Raises ``ValueError`` on bad syntax."""
+    from .serve.loadgen import RequestClass
+
+    classes = []
+    for part in spec.split(","):
+        fields = part.split(":")
+        if not fields[0] or len(fields) > 3:
+            raise ValueError(f"bad class spec {part!r} "
+                             "(want name[:weight[:deadline_ms]])")
+        weight = float(fields[1]) if len(fields) > 1 and fields[1] else 1.0
+        deadline = (float(fields[2])
+                    if len(fields) > 2 and fields[2] else None)
+        classes.append(RequestClass(name=fields[0], weight=weight,
+                                    deadline_ms=deadline))
+    return tuple(classes)
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
     import json as _json
@@ -495,6 +522,11 @@ def _cmd_loadgen(args) -> int:
         print(f"loadgen: bad --concurrency {args.concurrency!r} "
               "(want N or N,M,...)", file=sys.stderr)
         return 2
+    try:
+        classes = _parse_classes(args.classes) if args.classes else None
+    except ValueError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
 
     async def _drive():
         rounds = []
@@ -505,6 +537,7 @@ def _cmd_loadgen(args) -> int:
                 deadline_ms=args.deadline_ms, max_reports=args.max_reports,
                 seed=args.seed, host=args.host, port=args.port,
                 unix_path=args.unix, connect_timeout=args.connect_timeout,
+                duration_s=args.duration, classes=classes,
             )
             rounds.append(await run_loadgen(config))
         document = None
@@ -541,6 +574,49 @@ def _cmd_loadgen(args) -> int:
     if errors and args.fail_on_error:
         print(f"loadgen: {errors} request(s) failed", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    import asyncio
+
+    from .grid import Grid, GridOptions
+
+    apps = _resolve_apps(args.apps.split(","))
+    if apps is None:
+        return 2
+    options = GridOptions(
+        workers=args.workers, host=args.host, port=args.port,
+        unix_path=args.unix, window_ms=args.window_ms,
+        max_batch=args.max_batch, max_queue_depth=args.max_queue_depth,
+        threads=args.threads, backend=args.backend,
+        spill_threshold=args.spill_threshold,
+        max_inflight=args.max_inflight,
+        merge_interval_s=args.merge_interval,
+        warm=not args.no_warmup,
+        allow_shutdown=not args.no_remote_shutdown,
+    )
+
+    async def _run() -> None:
+        grid = Grid(apps, _config_for(args), options)
+        try:
+            address = await grid.start()
+            shards = grid.shard_map
+            assert shards is not None
+            for worker_id in range(options.workers):
+                primaries = ",".join(shards.primaries_for(worker_id)) or "-"
+                print(f"repro grid: worker {worker_id} primaries: {primaries}",
+                      flush=True)
+            print(f"repro grid: router listening on {address} "
+                  f"({options.workers} workers)", flush=True)
+            await grid.serve_until_stopped()
+        finally:
+            await grid.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro grid: interrupted, shutting down", file=sys.stderr)
     return 0
 
 
@@ -768,6 +844,15 @@ def main(argv: Optional[list] = None) -> int:
                                 default="closed")
     loadgen_parser.add_argument("--rate", type=float, default=None,
                                 help="open-loop arrivals per second")
+    loadgen_parser.add_argument("--duration", type=float, default=None,
+                                help="open-loop round length in seconds "
+                                     "(overrides --requests: the round "
+                                     "issues rate*duration arrivals)")
+    loadgen_parser.add_argument("--classes", default=None, metavar="SPEC",
+                                help="weighted request classes as "
+                                     "name[:weight[:deadline_ms]] comma "
+                                     "specs, e.g. interactive:8:50,batch:2; "
+                                     "results gain per-class percentiles")
     loadgen_parser.add_argument("--input-len", type=int, default=1024,
                                 help="payload bytes per request (default 1024)")
     loadgen_parser.add_argument("--deadline-ms", type=float, default=None,
@@ -787,6 +872,49 @@ def main(argv: Optional[list] = None) -> int:
     loadgen_parser.add_argument("--fail-on-error", action="store_true",
                                 help="exit 1 if any request failed")
 
+    grid_parser = sub.add_parser(
+        "grid",
+        help="sharded multi-process serving grid: router + worker pool "
+             "(repro.grid)",
+    )
+    grid_parser.add_argument("--apps", required=True,
+                             help="comma-separated applications to serve "
+                                  "(sharded across the worker pool)")
+    grid_parser.add_argument("--workers", type=int, default=2,
+                             help="worker processes in the pool (default 2)")
+    grid_parser.add_argument("--host", default="127.0.0.1")
+    grid_parser.add_argument("--port", type=int, default=None,
+                             help="router TCP port (0 or omitted: ephemeral)")
+    grid_parser.add_argument("--unix", default=None, metavar="PATH",
+                             help="router listens on a unix socket instead")
+    grid_parser.add_argument("--window-ms", type=float, default=2.0,
+                             help="per-worker micro-batch window (default 2ms)")
+    grid_parser.add_argument("--max-batch", type=int, default=64,
+                             help="largest batch per worker dispatch")
+    grid_parser.add_argument("--max-queue-depth", type=int, default=1024,
+                             help="per-worker admission bound (default 1024)")
+    grid_parser.add_argument("--threads", type=int, default=2,
+                             help="engine executor threads per worker")
+    grid_parser.add_argument("--backend", default="auto",
+                             choices=["multistream", "dfa", "lazydfa", "auto"],
+                             help="store compilation engine: auto (default) "
+                                  "follows each app's cost advisory")
+    grid_parser.add_argument("--spill-threshold", type=int, default=32,
+                             help="primary in-flight depth past which "
+                                  "requests spill to the replica")
+    grid_parser.add_argument("--max-inflight", type=int, default=1024,
+                             help="router admission bound; past it requests "
+                                  "are rejected with OVERLOADED")
+    grid_parser.add_argument("--merge-interval", type=float, default=0.25,
+                             help="write-behind stats merge period in "
+                                  "seconds (default 0.25)")
+    grid_parser.add_argument("--no-warmup", action="store_true",
+                             help="skip the per-worker warm batch on start")
+    grid_parser.add_argument("--no-remote-shutdown", action="store_true",
+                             help="reject shutdown frames from clients")
+    grid_parser.add_argument("--no-verify", action="store_true",
+                             help="skip fail-fast partition/batch verification")
+
     args = parser.parse_args(argv)
     handlers = {
         "list-apps": _cmd_list_apps,
@@ -801,6 +929,7 @@ def main(argv: Optional[list] = None) -> int:
         "reduce": _cmd_reduce,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "grid": _cmd_grid,
     }
     return handlers[args.command](args)
 

@@ -431,6 +431,39 @@ class AppRun:
             result = self.reduction().lift_result(result)
         return name, result
 
+    def stored_app(self, backend: str = "auto", *,
+                   fraction: Optional[float] = None) -> "object":
+        """This run's serving artifacts as a picklable grid store entry.
+
+        The explicit, serializable face of the pipeline cache
+        (``repro.grid.store``): backend selection runs here — advisory
+        consulted for ``auto``, feasibility-checked either way, with
+        serving's availability-over-strictness fallback — and exactly the
+        artifacts the selected engine needs are materialized, so a grid
+        worker loads the entry instead of re-running the pipeline.
+        """
+        # Deferred: repro.grid.store imports this module for build_store.
+        from ..grid.store import StoredApp
+        from .sweep import DEFAULT_PROFILE_FRACTION
+
+        frac = DEFAULT_PROFILE_FRACTION if fraction is None else fraction
+        advised = FALLBACK_BACKEND
+        if backend in (None, "auto"):
+            advised = self.backend_advisory(frac).recommended
+        name, _engine = self.select_backend(backend, frac, allow_fallback=True)
+        entry = StoredApp(
+            name=self.spec.abbr,
+            backend=name,
+            network=self.network,
+            compiled=self.compiled,
+            advised=advised if backend in (None, "auto") else name,
+        )
+        if name == "dfa":
+            entry.dfa = self.compiled_dfa
+        elif name == "lazydfa":
+            entry.lazydfa = self.compiled_lazydfa
+        return entry
+
     # -- derived metrics -----------------------------------------------------------
 
     def spap_speedup(self, fraction: float, config: APConfig) -> float:

@@ -1,0 +1,48 @@
+"""Sharded multi-process serving grid (space-based architecture).
+
+The single-process match server (``repro.serve``) tops out at one
+Python process's throughput no matter how fast the engines get.  This
+package rebuilds serving as a partitioned grid (DESIGN.md §16):
+
+* :mod:`~repro.grid.store` — the pipeline's compiled-artifact cache made
+  explicit and picklable, so workers load their partition instead of
+  re-running translation/compilation/cost analysis;
+* :mod:`~repro.grid.shard` — deterministic rendezvous-hash assignment of
+  applications to (primary, replica) workers;
+* :mod:`~repro.grid.worker` — the worker process: one match server over
+  its shard, warm on start, collocating compiled state with compute;
+* :mod:`~repro.grid.router` — the front-end: speaks the framed wire
+  protocol, forwards by app to the owning worker, spills to the replica
+  under primary overload, fails over on worker death, and merges worker
+  serve-stats write-behind into one schema-validated document;
+* :mod:`~repro.grid.runner` — orchestration: build store, spawn workers,
+  start router, tear down.
+"""
+
+from .router import GridRouter, RouterOptions
+from .runner import Grid, GridOptions
+from .shard import ShardMap, assign_shards
+from .store import (
+    NetworkStore,
+    StoreError,
+    StoredApp,
+    build_store,
+    load_store,
+)
+from .worker import WorkerSpec, worker_main
+
+__all__ = [
+    "Grid",
+    "GridOptions",
+    "GridRouter",
+    "RouterOptions",
+    "NetworkStore",
+    "ShardMap",
+    "StoreError",
+    "StoredApp",
+    "WorkerSpec",
+    "assign_shards",
+    "build_store",
+    "load_store",
+    "worker_main",
+]

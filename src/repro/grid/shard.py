@@ -1,0 +1,93 @@
+"""Deterministic application→worker shard assignment.
+
+Rendezvous (highest-random-weight) hashing: every ``(app, worker)`` pair
+gets a stable pseudo-random weight from an MD5 digest, and the app's
+primary is the worker with the highest weight; its replica is the
+runner-up.  Properties the grid relies on:
+
+* **deterministic across processes** — the weight comes from a digest of
+  the names, not Python's per-process-salted ``hash``, so the router and
+  every worker compute identical assignments with no coordination;
+* **minimal reshuffling** — removing a worker only moves the apps it
+  owned (each orphan lands on its runner-up, which is exactly the
+  replica already holding its artifacts);
+* **balanced in expectation** — weights are i.i.d. uniform per pair, so
+  shards even out as the app count grows.
+
+Replication policy: with ≥ 2 workers every app gets a distinct secondary
+(the failover + load-spill target); with one worker there is nobody to
+replicate to and ``replica`` is ``None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Assignment", "ShardMap", "assign_shards", "rendezvous_weight"]
+
+
+def rendezvous_weight(app: str, worker: int) -> int:
+    """Stable pseudo-random weight for one (app, worker) pair."""
+    digest = hashlib.md5(f"{app}\x00{worker}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Where one application lives: owning worker + optional replica."""
+
+    app: str
+    primary: int
+    replica: Optional[int]
+
+
+@dataclass
+class ShardMap:
+    """The full assignment for one grid: ``app -> (primary, replica)``."""
+
+    n_workers: int
+    assignments: Dict[str, Assignment]
+
+    def owner(self, app: str) -> Assignment:
+        try:
+            return self.assignments[app]
+        except KeyError:
+            raise KeyError(
+                f"application {app!r} is not in this shard map "
+                f"(apps: {', '.join(self.assignments) or 'none'})"
+            ) from None
+
+    def apps_for(self, worker: int) -> List[str]:
+        """Every app resident on ``worker`` (as primary or replica)."""
+        return [
+            a.app for a in self.assignments.values()
+            if a.primary == worker or a.replica == worker
+        ]
+
+    def primaries_for(self, worker: int) -> List[str]:
+        return [a.app for a in self.assignments.values() if a.primary == worker]
+
+    def to_json(self) -> Dict[str, List[object]]:
+        """JSON-friendly view for logs and the merged stats document."""
+        return {
+            app: [a.primary, a.replica]
+            for app, a in sorted(self.assignments.items())
+        }
+
+
+def assign_shards(apps: Iterable[str], n_workers: int) -> ShardMap:
+    """Assign every app a (primary, replica) pair by rendezvous hashing."""
+    if n_workers < 1:
+        raise ValueError(f"need at least one worker, got {n_workers}")
+    assignments: Dict[str, Assignment] = {}
+    for app in apps:
+        ranked: List[Tuple[int, int]] = sorted(
+            ((rendezvous_weight(app, w), w) for w in range(n_workers)),
+            reverse=True,
+        )
+        primary = ranked[0][1]
+        replica = ranked[1][1] if n_workers > 1 else None
+        assignments[app] = Assignment(app=app, primary=primary, replica=replica)
+    return ShardMap(n_workers=n_workers, assignments=assignments)

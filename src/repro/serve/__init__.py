@@ -17,17 +17,37 @@ Layers (DESIGN.md §11):
   dispatch, per-request deadlines, queue-depth admission control;
 * :mod:`repro.serve.server` — the asyncio server, per-request/per-batch
   ``repro.stats`` spans, and the validated statistics export;
-* :mod:`repro.serve.client` — pipelined asyncio client;
+* :mod:`repro.serve.client` — pipelined asyncio client (typed
+  :class:`ConnectionLostError` on server death, so callers never hang);
 * :mod:`repro.serve.loadgen` — open/closed-loop load generator with
-  latency percentiles (``python -m repro loadgen``).
+  latency percentiles, weighted request classes, and a duration-based
+  overload mode (``python -m repro loadgen``).
+
+The sharded multi-process tier built on top of this stack lives in
+:mod:`repro.grid` (DESIGN.md §16): worker processes each run a
+:class:`MatchServer` over a store partition, fronted by a routing
+process speaking this same protocol.
 
 Start a server with ``python -m repro serve --unix /tmp/repro.sock
 --apps Snort,LV`` and drive it with ``python -m repro loadgen``.
 """
 
 from .batcher import BatchPolicy, BatchedResult, MicroBatcher
-from .client import AsyncServeClient, MatchOutcome, ServeRequestError, connect
-from .loadgen import LoadgenConfig, LoadgenResult, render_results, run_loadgen
+from .client import (
+    AsyncServeClient,
+    ConnectionLostError,
+    MatchOutcome,
+    ServeRequestError,
+    connect,
+)
+from .loadgen import (
+    ClassStats,
+    LoadgenConfig,
+    LoadgenResult,
+    RequestClass,
+    render_results,
+    run_loadgen,
+)
 from .protocol import (
     ErrorCode,
     Frame,
@@ -46,11 +66,14 @@ __all__ = [
     "AsyncServeClient",
     "BatchPolicy",
     "BatchedResult",
+    "ClassStats",
+    "ConnectionLostError",
     "ErrorCode",
     "Frame",
     "LoadgenConfig",
     "LoadgenResult",
     "MatchOutcome",
+    "RequestClass",
     "MatchServer",
     "MicroBatcher",
     "ProtocolError",

@@ -21,7 +21,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from . import protocol
 from .protocol import ProtocolError
 
-__all__ = ["MatchOutcome", "ServeRequestError", "AsyncServeClient", "connect"]
+__all__ = ["MatchOutcome", "ServeRequestError", "ConnectionLostError",
+           "AsyncServeClient", "connect"]
 
 
 class ServeRequestError(Exception):
@@ -33,6 +34,18 @@ class ServeRequestError(Exception):
         self.code = code
         self.message = message
         self.request_id = request_id
+
+
+class ConnectionLostError(ConnectionError):
+    """The server connection died with requests outstanding.
+
+    Raised on every pending *and every subsequent* request once the read
+    loop observes EOF or a wire failure — callers never hang on a future
+    whose reply can no longer arrive.  The grid router catches exactly
+    this type to trigger worker failover (DESIGN.md §16); catching the
+    broader ``ConnectionError`` still works for callers that do not care
+    why the connection went away.
+    """
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,9 @@ class AsyncServeClient:
         self._pending: Dict[int, _Pending] = {}
         self._next_id = 0
         self._closed = False
+        #: Set once the read loop dies; every later request fails with it
+        #: immediately instead of waiting on a reply that cannot come.
+        self._conn_lost: Optional[Exception] = None
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     # -- connection management ---------------------------------------------------------
@@ -90,6 +106,11 @@ class AsyncServeClient:
                     raise
                 await asyncio.sleep(0.1)
 
+    @property
+    def connected(self) -> bool:
+        """False once the connection is closed or the read loop has died."""
+        return not self._closed and self._conn_lost is None
+
     async def close(self) -> None:
         self._closed = True
         self._reader_task.cancel()
@@ -97,6 +118,8 @@ class AsyncServeClient:
             await self._reader_task
         except (asyncio.CancelledError, Exception):
             pass
+        self._connection_lost(ConnectionLostError(
+            "client closed with requests in flight"))
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -180,6 +203,10 @@ class AsyncServeClient:
                          frame_bytes: bytes) -> Dict[str, Any]:
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._conn_lost is not None:
+            # The read loop is dead: a reply can never arrive, so fail the
+            # caller now with the same typed error the in-flight requests got.
+            raise ConnectionLostError(str(self._conn_lost)) from self._conn_lost
         loop = asyncio.get_running_loop()
         pending = _Pending(future=loop.create_future(),
                            sent_at=time.perf_counter())
@@ -209,6 +236,8 @@ class AsyncServeClient:
                     pending.future.set_result(frame)
                 elif raw_id is None and frame.header.get("type") == "error":
                     # Connection-level error: fail everything in flight.
+                    # The stream may still be alive (recoverable errors keep
+                    # it framed), so this does NOT terminal-state the client.
                     self._fail_all(ServeRequestError(
                         str(frame.header.get("code")),
                         str(frame.header.get("message")),
@@ -216,14 +245,24 @@ class AsyncServeClient:
         except asyncio.CancelledError:
             raise
         except Exception as exc:
-            self._fail_all(exc)
+            self._connection_lost(ConnectionLostError(
+                f"connection to server lost: {exc!r}"))
         else:
-            self._fail_all(ConnectionError("server closed the connection"))
+            self._connection_lost(
+                ConnectionLostError("server closed the connection"))
 
     def _fail_all(self, exc: Exception) -> None:
+        """Fail every pending future with ``exc`` (connection still usable)."""
         for pending in self._pending.values():
             if not pending.future.done():
                 pending.future.set_exception(exc)
+
+    def _connection_lost(self, exc: Exception) -> None:
+        """Terminal-state the client: fail everything pending with ``exc``
+        and remember it so every later request fails immediately too."""
+        if self._conn_lost is None:
+            self._conn_lost = exc
+        self._fail_all(self._conn_lost)
 
     async def _read_frame(self) -> Optional[protocol.Frame]:
         try:

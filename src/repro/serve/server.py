@@ -33,6 +33,7 @@ from ..sim.engine import as_input_array
 from ..stats.recorder import StageTimer
 from ..stats.schema import SERVE_SCHEMA_VERSION, validate_serve_stats
 from . import protocol
+from .aio import read_frame
 from .batcher import BatchPolicy, MicroBatcher
 from .protocol import ErrorCode, ProtocolError
 from .state import ServeState
@@ -203,28 +204,7 @@ class MatchServer:
 
     async def _read_frame(self, reader: asyncio.StreamReader) -> Optional[protocol.Frame]:
         """Read one frame, or None on clean EOF at a frame boundary."""
-        try:
-            preamble = await reader.readexactly(protocol.PREAMBLE_SIZE)
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None
-            raise ProtocolError(
-                ErrorCode.BAD_FRAME,
-                f"connection closed mid-preamble ({len(exc.partial)} bytes)",
-            ) from exc
-        header_len, payload_len = protocol.decode_preamble(preamble)
-        try:
-            header_bytes = await reader.readexactly(header_len)
-            payload = await reader.readexactly(payload_len)
-        except asyncio.IncompleteReadError as exc:
-            raise ProtocolError(
-                ErrorCode.BAD_FRAME, "connection closed mid-frame"
-            ) from exc
-        decoded = protocol.decode_frame(
-            preamble + header_bytes + payload
-        )
-        assert decoded is not None
-        return decoded[0]
+        return await read_frame(reader)
 
     async def _send(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
                     data: bytes) -> None:

@@ -175,6 +175,25 @@ class ServeState:
         self._remember(name, entry)
         return entry
 
+    def add_stored(self, stored: "object") -> AppEntry:
+        """Adopt a pre-compiled grid store entry (``repro.grid.store``).
+
+        The worker-pool path: the grid parent selected the backend and
+        compiled every artifact once, so the entry goes resident directly
+        — no pipeline run, no advisory, no compile stage.  The store
+        entry's name joins the allowed list implicitly (it bypasses the
+        registry resolve exactly like an injected network).
+        """
+        entry = AppEntry(
+            name=stored.name,  # type: ignore[attr-defined]
+            compiled=stored.compiled,  # type: ignore[attr-defined]
+            backend=stored.backend,  # type: ignore[attr-defined]
+            dfa=stored.dfa,  # type: ignore[attr-defined]
+            lazydfa=stored.lazydfa,  # type: ignore[attr-defined]
+        )
+        self._remember(entry.name, entry)
+        return entry
+
     def _remember(self, name: str, entry: AppEntry) -> None:
         self._entries[name] = entry
         self._entries.move_to_end(name)

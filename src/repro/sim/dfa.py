@@ -134,6 +134,24 @@ class CompiledDFA:
         """Actual footprint: transition table plus the byte->class map."""
         return int(self.transitions.nbytes) + ALPHABET_SIZE
 
+    def __getstate__(self) -> dict:
+        """Pickle support for the network store (``repro.grid.store``).
+
+        The lazily-built flat table and its lock are process-local: the
+        flat list would bloat the serialized artifact (it is derivable
+        from ``transitions``), and a ``threading.Lock`` cannot cross a
+        process boundary at all.  Both are rebuilt on first use after
+        :meth:`__setstate__`.
+        """
+        state = dict(self.__dict__)
+        state["_flat"] = None
+        del state["_flat_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._flat_lock = threading.Lock()
+
     def run_tables(self) -> Tuple[List[int], Tuple[Tuple[int, ...], ...],
                                   Tuple[Tuple[int, ...], ...]]:
         """Hot-loop tables: a flat Python transition list whose entries are

@@ -168,6 +168,28 @@ class CompiledLazyDfa:
         self.evictions = 0
         self.fallback_steps = 0
 
+    def __getstate__(self) -> dict:
+        """Pickle support for the network store (``repro.grid.store``).
+
+        The subset cache is process-local by design: its rows hold direct
+        next-row object links (and the lock guarding them cannot cross a
+        process boundary), so a deserialized artifact starts from the
+        post-compile state — empty cache, zero lifetime counters — and
+        refills lazily during execution, exactly like a fresh
+        :func:`compile_lazydfa` output.
+        """
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        del state["_lock"]
+        for counter in ("hits", "cell_builds", "inserts", "evictions",
+                        "fallback_steps"):
+            state[counter] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     def cache_stats(self) -> Dict[str, int]:
         """Lifetime cache counters plus current occupancy (for benches,
         serve introspection, and the adversarial-cap tests)."""

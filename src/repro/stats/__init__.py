@@ -14,8 +14,10 @@ from .collect import DEFAULT_STATS_FRACTION, collect_run_stats
 from .record import RunStats, render_stats
 from .recorder import Span, StageTimer, stats_enabled
 from .schema import (
+    GRID_SCHEMA_VERSION,
     SCHEMA_VERSION,
     SERVE_SCHEMA,
+    SERVE_SCHEMA_V2,
     SERVE_SCHEMA_VERSION,
     SPAN_SCHEMA,
     STATS_SCHEMA,
@@ -28,8 +30,10 @@ from .schema import (
 
 __all__ = [
     "DEFAULT_STATS_FRACTION",
+    "GRID_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "SERVE_SCHEMA",
+    "SERVE_SCHEMA_V2",
     "SERVE_SCHEMA_VERSION",
     "SPAN_SCHEMA",
     "STATS_SCHEMA",

@@ -12,14 +12,17 @@ from __future__ import annotations
 from typing import Any, List
 
 __all__ = [
+    "GRID_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "SERVE_SCHEMA",
+    "SERVE_SCHEMA_V2",
     "SERVE_SCHEMA_VERSION",
     "SPAN_SCHEMA",
     "STATS_SCHEMA",
     "STATS_SCHEMA_V2",
     "STATS_SCHEMA_V3",
     "STATS_SCHEMA_V4",
+    "SUPPORTED_SERVE_VERSIONS",
     "SUPPORTED_STATS_VERSIONS",
     "SchemaError",
     "validate_serve_stats",
@@ -43,7 +46,13 @@ SCHEMA_VERSION = 5
 
 #: Bump on any backwards-incompatible change to the match server's exported
 #: statistics document (``repro.serve``).
+#: v2: added the ``grid`` section — the router's merged view of a worker
+#: pool (per-worker request rates, spill/failover counts, write-behind
+#: merge lag — ``repro.grid``).  Single-process servers keep exporting v1.
 SERVE_SCHEMA_VERSION = 1
+
+#: The version the grid router stamps on its merged document (the v2 shape).
+GRID_SCHEMA_VERSION = 2
 
 #: One StageTimer span as exported (shared by RunStats and the bench harness).
 SPAN_SCHEMA = {"name": "str", "calls": "int", "seconds": "number"}
@@ -206,6 +215,40 @@ SERVE_SCHEMA = {
     "stages": ("array", SPAN_SCHEMA),
 }
 
+#: The v2 serve document (``repro.grid``): the v1 shape plus the router's
+#: merged ``grid`` section.  ``merge_lag_ms`` is nullable — before the
+#: first write-behind merge completes there is no lag to report.
+SERVE_SCHEMA_V2 = dict(SERVE_SCHEMA)
+SERVE_SCHEMA_V2["grid"] = {
+    "n_workers": "int",
+    "merges": "int",
+    "merge_lag_ms": "number?",
+    "spills": "int",
+    "failovers": "int",
+    "workers_down": "int",
+    "workers": (
+        "array",
+        {
+            "worker": "int",
+            "up": "bool",
+            "apps": ("array", "str"),
+            "forwarded": "int",
+            "received": "int",
+            "replied": "int",
+            "errors": "int",
+            "rps": "number",
+        },
+    ),
+}
+
+#: Versions :func:`validate_serve_stats` accepts, newest first.
+SUPPORTED_SERVE_VERSIONS = (2, 1)
+
+_SERVE_SCHEMA_BY_VERSION = {
+    2: SERVE_SCHEMA_V2,
+    1: SERVE_SCHEMA,
+}
+
 
 class SchemaError(ValueError):
     """The document does not match :data:`STATS_SCHEMA`."""
@@ -287,21 +330,26 @@ def validate_stats(document: dict) -> None:
 def validate_serve_stats(document: Any) -> None:
     """Validate one match-server statistics export (``repro.serve``).
 
-    Raises :class:`SchemaError` on shape violations or a version mismatch,
-    exactly like :func:`validate_stats` does for run statistics.
+    Version-dispatched like :func:`validate_stats`: a v1 single-process
+    export must not carry the ``grid`` section, a v2 router merge must.
+    Raises :class:`SchemaError` on shape violations or an unsupported
+    (or bool-typed) version.
     """
     if not isinstance(document, dict):
         raise SchemaError(
             f"serve stats document must be an object, got {type(document).__name__}"
         )
     version = document.get("schema_version")
-    if version != SERVE_SCHEMA_VERSION:
+    # bool is an int subclass: `True` must not dispatch as version 1.
+    valid_key = isinstance(version, int) and not isinstance(version, bool)
+    schema = _SERVE_SCHEMA_BY_VERSION.get(version) if valid_key else None
+    if schema is None:
         raise SchemaError(
             f"unsupported serve schema_version {version!r} "
-            f"(expected {SERVE_SCHEMA_VERSION})"
+            f"(supported: {', '.join(str(v) for v in SUPPORTED_SERVE_VERSIONS)})"
         )
     problems: List[str] = []
-    _check(document, SERVE_SCHEMA, "$", problems)
+    _check(document, schema, "$", problems)
     if problems:
         raise SchemaError(
             f"{len(problems)} schema violation(s): " + "; ".join(problems[:20])

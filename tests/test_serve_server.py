@@ -16,8 +16,17 @@ from repro.nfa.automaton import Automaton, Network, StartKind
 from repro.nfa.symbolset import SymbolSet
 from repro.serve import protocol
 from repro.serve.batcher import BatchPolicy, MicroBatcher
-from repro.serve.client import AsyncServeClient, ServeRequestError
-from repro.serve.loadgen import LoadgenConfig, render_results, run_loadgen
+from repro.serve.client import (
+    AsyncServeClient,
+    ConnectionLostError,
+    ServeRequestError,
+)
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    RequestClass,
+    render_results,
+    run_loadgen,
+)
 from repro.serve.protocol import ErrorCode, ProtocolError
 from repro.serve.server import MatchServer, ServerOptions
 from repro.serve.state import ServeState
@@ -237,6 +246,81 @@ class TestErrorPaths:
                     with pytest.raises(ServeRequestError) as info:
                         await client.match("Snort", b"ab")
                     assert info.value.code == ErrorCode.UNKNOWN_APP
+
+        asyncio.run(scenario())
+
+
+class TestClientConnectionLoss:
+    """Regression: a connection that dies mid-flight must fail every
+    pending future with the typed :class:`ConnectionLostError` — and every
+    later request too — instead of leaving callers hung on futures whose
+    replies can never arrive (the grid router's failover trigger)."""
+
+    def test_mid_flight_kill_fails_pending_and_later_requests(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "stub.sock")
+
+            async def swallow_and_die(reader, writer):
+                await reader.read(64)  # accept part of the request, then die
+                writer.close()
+
+            stub = await asyncio.start_unix_server(swallow_and_die, path=sock)
+            try:
+                client = await AsyncServeClient.open(unix_path=sock)
+                with pytest.raises(ConnectionLostError):
+                    await client.match("toy", b"abcd")
+                # Terminal: the client never offers the dead connection again.
+                assert not client.connected
+                with pytest.raises(ConnectionLostError):
+                    await client.ping()
+                await client.close()
+            finally:
+                stub.close()
+                await stub.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_kill_with_many_requests_parked_fails_all_of_them(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "stub.sock")
+            writers = []
+
+            async def park_forever(reader, writer):
+                writers.append(writer)
+                await reader.read(1 << 16)  # never reply
+
+            stub = await asyncio.start_unix_server(park_forever, path=sock)
+            try:
+                client = await AsyncServeClient.open(unix_path=sock)
+                parked = [asyncio.ensure_future(client.match("toy", b"abcd"))
+                          for _ in range(8)]
+                await asyncio.sleep(0.05)  # all eight are in flight
+                assert not any(f.done() for f in parked)
+                for writer in writers:
+                    writer.close()  # the "worker" dies mid-flight
+                results = await asyncio.gather(*parked, return_exceptions=True)
+                assert len(results) == 8
+                assert all(isinstance(r, ConnectionLostError) for r in results)
+                # ...and it is a ConnectionError subclass, so existing
+                # broad handlers keep working.
+                assert all(isinstance(r, ConnectionError) for r in results)
+                await client.close()
+            finally:
+                stub.close()
+                await stub.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_server_side_errors_do_not_terminal_state_the_client(self, tmp_path):
+        """Null-id error frames (connection-level, but recoverable) fail
+        the in-flight requests without poisoning the connection."""
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                async with await AsyncServeClient.open(unix_path=sock) as client:
+                    with pytest.raises(ServeRequestError):
+                        await client.match("no-such-app", b"ab")
+                    assert client.connected
+                    assert (await client.match("toy", b"ab")).n_symbols == 2
 
         asyncio.run(scenario())
 
@@ -465,3 +549,93 @@ class TestLoadgen:
             LoadgenConfig(apps=["toy"], mode="open")  # open loop needs a rate
         with pytest.raises(ValueError):
             LoadgenConfig(apps=["toy"], mode="sideways")
+        with pytest.raises(ValueError, match="open-loop"):
+            LoadgenConfig(apps=["toy"], duration_s=1.0)  # closed + duration
+        with pytest.raises(ValueError, match="positive"):
+            LoadgenConfig(apps=["toy"], mode="open", rate=10.0, duration_s=0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            LoadgenConfig(apps=["toy"], classes=())
+        with pytest.raises(ValueError, match="positive weight"):
+            RequestClass("batch", weight=0.0)
+
+    def test_duration_overrides_request_count(self):
+        config = LoadgenConfig(apps=["toy"], requests=5, mode="open",
+                               rate=40.0, duration_s=0.5)
+        assert config.total_requests() == 20  # ceil(40 * 0.5), not 5
+
+    def test_open_loop_duration_with_weighted_classes(self, tmp_path):
+        """The overload-sweep shape: a fixed-duration open loop split into
+        weighted classes, each with its own deadline and percentiles."""
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                config = LoadgenConfig(
+                    apps=["toy"], concurrency=4, mode="open", rate=400.0,
+                    duration_s=0.25, input_len=32, unix_path=sock,
+                    classes=(
+                        RequestClass("interactive", weight=3.0,
+                                     deadline_ms=60_000.0),
+                        RequestClass("batch", weight=1.0),
+                    ),
+                )
+                result = await run_loadgen(config)
+                total = config.total_requests()
+                assert result.ok == total and result.errors == 0
+                assert set(result.classes) == {"interactive", "batch"}
+                per_class = result.classes
+                assert sum(c.ok for c in per_class.values()) == total
+                # 3:1 weights: interactive dominates (seed-stable split).
+                assert per_class["interactive"].ok > per_class["batch"].ok
+                payload = result.to_json()
+                assert payload["requests"] == total
+                assert payload["overloaded"] == 0
+                assert payload["classes"]["interactive"]["latency_ms"]["p50"] > 0
+                table = render_results([result])
+                assert "class interactive" in table and "class batch" in table
+
+        asyncio.run(scenario())
+
+    def test_expired_deadlines_count_per_class(self, tmp_path):
+        """A class whose deadline is already expired collects typed
+        DEADLINE_EXCEEDED rejections; the other class is untouched."""
+        async def scenario():
+            async with _server(tmp_path) as (_server_obj, sock):
+                config = LoadgenConfig(
+                    apps=["toy"], concurrency=2, mode="open", rate=500.0,
+                    duration_s=0.1, input_len=16, unix_path=sock, seed=3,
+                    classes=(
+                        RequestClass("doomed", weight=1.0, deadline_ms=0.0),
+                        RequestClass("fine", weight=1.0),
+                    ),
+                )
+                result = await run_loadgen(config)
+                doomed, fine = result.classes["doomed"], result.classes["fine"]
+                assert doomed.ok == 0
+                assert doomed.deadline_exceeded == doomed.errors > 0
+                assert fine.errors == 0 and fine.ok > 0
+                assert result.deadline_exceeded == doomed.deadline_exceeded
+                assert result.ok == fine.ok
+                json_doc = result.to_json()
+                assert json_doc["deadline_exceeded"] == doomed.errors
+                assert json_doc["classes"]["doomed"]["deadline_exceeded"] \
+                    == doomed.errors
+
+        asyncio.run(scenario())
+
+    def test_overloaded_rejections_are_counted_not_raised(self, tmp_path):
+        """Open-loop overload against a tiny admission bound: the round
+        completes, with OVERLOADED counted on the result (the bounded-p99
+        contract the grid bench asserts)."""
+        async def scenario():
+            async with _server(tmp_path, max_queue_depth=1,
+                               window_ms=20.0) as (_server_obj, sock):
+                config = LoadgenConfig(
+                    apps=["toy"], concurrency=8, mode="open", rate=2000.0,
+                    duration_s=0.2, input_len=2048, unix_path=sock,
+                )
+                result = await run_loadgen(config)
+                assert result.ok + result.errors == config.total_requests()
+                assert result.overloaded == result.errors > 0
+                assert result.errors_by_code[ErrorCode.OVERLOADED] \
+                    == result.overloaded
+
+        asyncio.run(scenario())
